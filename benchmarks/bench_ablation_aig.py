@@ -1,0 +1,74 @@
+"""Ablation A5: T1 detection on structural vs AIG-form networks.
+
+The paper's inputs are the *optimised AIG* releases of the EPFL/ISCAS
+suites; our generators emit structural XOR3/MAJ3 fabrics.  This ablation
+converts benchmarks to 2-input AIG normal form (+ ISOP refactoring) and
+reruns detection — quantifying how much of the found/used difference
+against the published table is representation, not algorithm.
+
+Expectations encoded below: cut enumeration recovers full adders from
+pure AND2/NOT structure (found > 0), but candidate counts and gains shift
+relative to the structural form.
+"""
+
+import pytest
+
+from repro.circuits import build
+from repro.network import check_equivalence, refactor, to_aig_form
+from repro.core import FlowConfig, run_flow
+
+
+def _variants(name, preset):
+    structural = build(name, preset)
+    aig = to_aig_form(structural)
+    opt, _ = refactor(aig)
+    return structural, aig, opt
+
+
+@pytest.mark.parametrize("form", ["structural", "aig", "aig+refactor"])
+def test_detection_vs_representation(benchmark, preset, form):
+    benchmark.group = "ablation-aig"
+    structural, aig, opt = _variants("adder", preset)
+    net = {"structural": structural, "aig": aig, "aig+refactor": opt}[form]
+
+    def flow():
+        return run_flow(
+            net, FlowConfig(n_phases=4, use_t1=True, verify="none")
+        )
+
+    res = benchmark.pedantic(flow, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "form": form,
+            "gates_in": net.num_gates(),
+            "t1_found": res.t1_found,
+            "t1_used": res.t1_used,
+            "area": res.area_jj,
+        }
+    )
+    # full adders are recoverable from every representation
+    assert res.t1_used > 0
+
+
+def test_aig_form_recovers_adder_chain(preset):
+    """Cut enumeration + Boolean matching must find FA groups even after
+    the chain is shredded into AND2/NOT nodes.
+
+    In AIG form adjacent FA cones overlap on the carry logic, so greedy
+    selection applies only a subset (found >> used) — exactly the
+    found-vs-used gap the paper reports on its AIG benchmarks (e.g. sin
+    81/77, square 861/806, log2 644/593).
+    """
+    structural, aig, _ = _variants("adder", preset)
+    s = run_flow(structural, FlowConfig(verify="none"))
+    a = run_flow(aig, FlowConfig(verify="none"))
+    assert a.t1_found >= s.t1_used          # every FA position is seen
+    assert a.t1_used >= 0.4 * s.t1_used     # a good share survives overlap
+    assert a.t1_used < a.t1_found           # the paper's found > used gap
+    assert check_equivalence(structural, a.logic_network).equivalent
+
+
+def test_refactor_shrinks_aig(preset):
+    _, aig, opt = _variants("c7552", preset)
+    assert opt.num_gates() <= aig.num_gates()
+    assert check_equivalence(aig, opt, complete=False).equivalent

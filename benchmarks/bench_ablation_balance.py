@@ -1,0 +1,52 @@
+"""Ablation A4 (extension): tree balancing before the flow.
+
+Depth == DFFs in gate-level-pipelined SFQ, so rebalancing associative
+chains is an area optimisation here, not only a timing one.  This
+ablation measures its interaction with T1 detection: balancing can break
+linear XOR3/MAJ3 chains into tree shapes, changing which T1 groups exist.
+"""
+
+import pytest
+
+from repro.circuits import build
+from repro.core import FlowConfig, run_flow
+
+
+def _flow(net, balance, use_t1):
+    return run_flow(
+        net,
+        FlowConfig(n_phases=4, use_t1=use_t1, balance_network=balance,
+                   verify="none"),
+    )
+
+
+@pytest.mark.parametrize("balance", [False, True])
+@pytest.mark.parametrize("use_t1", [False, True])
+def test_balance_ablation(benchmark, preset, balance, use_t1):
+    benchmark.group = "ablation-balance"
+    net = build("c7552", preset)
+    res = benchmark.pedantic(
+        _flow, args=(net, balance, use_t1), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {"balance": balance, "t1": use_t1, "area": res.area_jj,
+         "dffs": res.num_dffs, "depth": res.depth_cycles,
+         "t1_used": res.t1_used}
+    )
+    assert res.area_jj > 0
+
+
+def test_balance_never_deepens(preset):
+    net = build("c7552", preset)
+    plain = _flow(net, False, False)
+    balanced = _flow(net, True, False)
+    assert balanced.depth_cycles <= plain.depth_cycles
+
+
+def test_balance_preserves_function(preset):
+    from repro.network import check_equivalence
+    from repro.network.balance import balance as balance_pass
+
+    net = build("c7552", preset)
+    out, _ = balance_pass(net)
+    assert check_equivalence(net, out, complete=False).equivalent

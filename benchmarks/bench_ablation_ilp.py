@@ -1,0 +1,67 @@
+"""Ablation A3: heuristic vs exact ILP phase assignment.
+
+The paper solves phase assignment with an ILP (OR-Tools); our scalable
+flow uses coordinate descent over the true insertion cost.  On circuits
+small enough for the exact branch-and-bound MILP, the heuristic must stay
+within a few DFFs of the optimum of the paper's per-edge objective.
+"""
+
+import pytest
+
+from repro.circuits import c7552_like, ripple_carry_adder
+from repro.network.cleanup import strash
+from repro.sfq import map_to_sfq
+from repro.sfq.multiphase import edge_dffs
+from repro.core.dff_insertion import insert_dffs
+from repro.core.phase_assignment import (
+    assign_stages_heuristic,
+    assign_stages_ilp,
+)
+
+
+def _edge_objective(nl):
+    total = 0
+    for cell in nl.cells:
+        if not cell.clocked:
+            continue
+        for sig in cell.fanins:
+            total += edge_dffs(cell.stage - nl.cells[sig[0]].stage, nl.n_phases)
+    return total
+
+
+def _prepare(bits, n):
+    net, _ = strash(ripple_carry_adder(bits))
+    nl, _ = map_to_sfq(net, n_phases=n)
+    return nl
+
+
+@pytest.mark.parametrize("n", [1, 2, 4])
+def test_ilp_phase_assignment(benchmark, n):
+    benchmark.group = "ablation-ilp"
+    nl = _prepare(3, n)
+    benchmark.pedantic(assign_stages_ilp, args=(nl,), rounds=1, iterations=1)
+    insert_dffs(nl)
+    benchmark.extra_info.update({"n": n, "objective": _edge_objective(nl)})
+
+
+@pytest.mark.parametrize("n", [1, 2, 4])
+def test_heuristic_matches_ilp_objective(n):
+    nl_i = _prepare(3, n)
+    assign_stages_ilp(nl_i)
+    opt = _edge_objective(nl_i)
+
+    nl_h = _prepare(3, n)
+    assign_stages_heuristic(nl_h, free_pi_phases=False)
+    got = _edge_objective(nl_h)
+    assert got <= opt + 2, f"heuristic {got} vs ILP optimum {opt}"
+
+
+def test_heuristic_speed(benchmark):
+    benchmark.group = "ablation-ilp"
+    net, _ = strash(c7552_like(16))
+    nl, _ = map_to_sfq(net, n_phases=4)
+    benchmark.pedantic(
+        assign_stages_heuristic, args=(nl,), rounds=1, iterations=1
+    )
+    insert_dffs(nl)
+    benchmark.extra_info["dffs"] = nl.num_dffs()

@@ -1,0 +1,60 @@
+"""Ablation A1: clock-phase count sweep (the §III depth/area discussion).
+
+The paper attributes the T1 losses on c7552/sin to circuit deepening:
+extra T1 stages force additional path balancing.  Sweeping n isolates the
+effect: DFFs fall ~1/n, the T1 area benefit appears only for n >= 3, and
+the depth overhead of T1 shrinks as n grows.
+"""
+
+import pytest
+
+from repro.circuits import build
+from repro.core import FlowConfig, run_flow
+
+
+def _flow(net, n, use_t1):
+    return run_flow(
+        net, FlowConfig(n_phases=n, use_t1=use_t1, verify="none")
+    )
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 8])
+def test_phase_sweep_baseline(benchmark, preset, n):
+    benchmark.group = "ablation-phases-baseline"
+    net = build("c6288", preset)
+    res = benchmark.pedantic(_flow, args=(net, n, False), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {"n": n, "dffs": res.num_dffs, "area": res.area_jj,
+         "depth": res.depth_cycles}
+    )
+    assert res.metrics.depth_cycles >= 1
+
+
+@pytest.mark.parametrize("n", [3, 4, 8])
+def test_phase_sweep_t1(benchmark, preset, n):
+    benchmark.group = "ablation-phases-t1"
+    net = build("c6288", preset)
+    res = benchmark.pedantic(_flow, args=(net, n, True), rounds=1, iterations=1)
+    base = _flow(net, n, False)
+    benchmark.extra_info.update(
+        {"n": n, "area_ratio": round(res.area_jj / base.area_jj, 3),
+         "depth_ratio": round(res.depth_cycles / base.depth_cycles, 3)}
+    )
+    # the T1 area win holds at every feasible phase count on FA fabrics
+    assert res.area_jj < base.area_jj
+    # and T1 never improves depth
+    assert res.depth_cycles >= base.depth_cycles
+
+
+def test_dffs_fall_with_phase_count(preset):
+    net = build("c6288", preset)
+    dffs = {n: _flow(net, n, False).num_dffs for n in (1, 2, 4)}
+    assert dffs[2] < dffs[1]
+    assert dffs[4] < dffs[2]
+
+
+def test_t1_requires_three_phases():
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        FlowConfig(n_phases=2, use_t1=True)

@@ -1,0 +1,81 @@
+"""Table I regeneration harness (experiment id: T1).
+
+One pytest-benchmark per circuit row: each run executes the three flows
+(1φ, 4φ, 4φ + T1) and records the whole Table-I row — T1 found/used,
+DFF count, area and depth per flow and the T1-vs-baseline ratios — in
+``benchmark.extra_info``.  Shape assertions encode the paper's
+qualitative claims per row.  (Plain ``pytest benchmarks/`` additionally
+runs the non-benchmark shape checks that ``--benchmark-only`` skips.)
+
+The ``ci`` preset keeps this fast; the paper-scale table (with the
+side-by-side comparison against the published numbers) is produced by::
+
+    python benchmarks/table1_report.py
+"""
+
+import pytest
+
+from repro.circuits import TABLE1_ORDER, build
+from repro.core import PAPER_TABLE1, TableRow, run_baselines_and_t1
+
+
+def _run_row(name: str, preset: str) -> TableRow:
+    net = build(name, preset)
+    results = run_baselines_and_t1(net, n_phases=4, verify="none")
+    return TableRow.from_results(name, results)
+
+
+@pytest.mark.parametrize("name", TABLE1_ORDER)
+def test_table1_row(benchmark, name, preset):
+    benchmark.group = "table1"
+    row = benchmark.pedantic(
+        _run_row, args=(name, preset), rounds=1, iterations=1
+    )
+    paper = PAPER_TABLE1[name]
+    benchmark.extra_info.update(
+        {
+            "t1_found": row.t1_found,
+            "t1_used": row.t1_used,
+            "dff": (row.dff_1phi, row.dff_nphi, row.dff_t1),
+            "area": (row.area_1phi, row.area_nphi, row.area_t1),
+            "depth": (row.depth_1phi, row.depth_nphi, row.depth_t1),
+            "area_ratio_vs_4phi": round(row.area_ratio_nphi, 3),
+            "depth_ratio_vs_4phi": round(row.depth_ratio_nphi, 3),
+            "paper_area_ratio_vs_4phi": paper["area_r"][1],
+            "paper_depth_ratio_vs_4phi": paper["depth_r"][1],
+        }
+    )
+
+    # --- shape assertions (hold at either preset) ------------------------
+    # multiphase baseline slashes DFFs and depth
+    assert row.dff_nphi < row.dff_1phi
+    assert row.depth_nphi <= (row.depth_1phi + 3) // 4 + 1
+    # T1 cells are found on every arithmetic benchmark
+    assert row.t1_found > 0
+    assert 0 < row.t1_used <= row.t1_found
+    # depth: T1 never beats the plain multiphase flow (paper avg 1.13)
+    assert row.depth_t1 >= row.depth_nphi
+    # and the T1 depth overhead stays small (paper max ratio 1.25)
+    assert row.depth_t1 <= max(row.depth_nphi * 1.6, row.depth_nphi + 3)
+
+
+@pytest.mark.parametrize("name", ["adder", "c6288", "square", "multiplier"])
+def test_table1_t1_wins_area_on_fa_fabrics(name, preset):
+    """Rows where the paper reports a T1 area win (ratio < 1)."""
+    row = _run_row(name, preset)
+    assert row.area_t1 < row.area_nphi, (
+        f"{name}: T1 area {row.area_t1} vs 4phi {row.area_nphi}"
+    )
+    assert row.area_t1 < row.area_1phi
+
+
+def test_table1_average_shape(preset):
+    """Suite-average shape: area ratio < 1 (paper 0.94), depth ratio > 1
+    (paper 1.13), 1φ->4φ DFF ratio around 1/n (paper 0.35)."""
+    from repro.core import Table
+
+    rows = [_run_row(name, preset) for name in TABLE1_ORDER]
+    avg = Table(rows).averages()
+    assert avg["area_ratio_nphi"] < 1.0
+    assert avg["depth_ratio_nphi"] >= 1.0
+    assert avg["dff_ratio_1phi"] < 0.6

@@ -1,0 +1,23 @@
+"""Shared configuration of the benchmark harness.
+
+Benchmark sizes: pytest-benchmark runs use the ``ci`` preset by default so
+``pytest benchmarks/ --benchmark-only`` finishes in a couple of minutes.
+Set ``REPRO_BENCH_PRESET=paper`` to benchmark the paper-scale circuits
+(the full Table-I regeneration lives in ``table1_report.py``, which always
+uses paper scale).
+"""
+
+import os
+
+import pytest
+
+PRESET = os.environ.get("REPRO_BENCH_PRESET", "ci")
+
+
+@pytest.fixture(scope="session")
+def preset() -> str:
+    return PRESET
+
+
+def pytest_report_header(config):
+    return f"repro benchmarks: circuit preset = {PRESET!r}"

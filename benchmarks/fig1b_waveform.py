@@ -1,0 +1,23 @@
+"""Regenerate Fig. 1b as an ASCII waveform.
+
+Run with::
+
+    python benchmarks/fig1b_waveform.py
+"""
+
+from repro.sfq import simulate_pulse_train, waveform_ascii
+
+STIMULUS = [
+    (0, "T"), (3, "R"),                        # cycle 1: a
+    (4, "T"), (5, "T"), (7, "R"),              # cycle 2: a, b
+    (8, "T"), (9, "T"), (10, "T"), (11, "R"),  # cycle 3: a, b, c
+]
+
+if __name__ == "__main__":
+    print("Fig. 1b — T1 cell simulation (input cycles: a | a,b | a,b,c)")
+    print()
+    print(waveform_ascii(simulate_pulse_train(STIMULUS)))
+    print()
+    print("S  fires at the clock when an odd number of T pulses arrived")
+    print("C* fires on every second T pulse (carry)")
+    print("Q* fires on every 0->1 loop transition (or)")

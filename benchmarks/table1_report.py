@@ -1,0 +1,122 @@
+"""Regenerate Table I at paper scale and compare with the published rows.
+
+Run with::
+
+    python benchmarks/table1_report.py [--sweeps N] [--preset paper|ci]
+                                       [--markdown out.md]
+
+Prints the Table-I layout (same columns, same thousands separators) and a
+measured-vs-paper ratio comparison; optionally writes a Markdown report
+(EXPERIMENTS.md is generated this way).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List
+
+from repro.circuits import TABLE1_ORDER, build
+from repro.core import (
+    PAPER_AVERAGES,
+    PAPER_TABLE1,
+    Table,
+    TableRow,
+    run_baselines_and_t1,
+)
+
+
+def collect(preset: str, sweeps: int, verify: str) -> Table:
+    rows: List[TableRow] = []
+    for name in TABLE1_ORDER:
+        t0 = time.time()
+        net = build(name, preset)
+        results = run_baselines_and_t1(
+            net, n_phases=4, verify=verify, sweeps=sweeps
+        )
+        rows.append(TableRow.from_results(name, results))
+        print(f"  [{name}: {time.time() - t0:.1f}s]", file=sys.stderr)
+    return Table(rows, n_phases=4)
+
+
+def comparison_lines(table: Table) -> List[str]:
+    out = []
+    out.append(
+        f"{'benchmark':<12} {'found/used':>12} {'paper':>12} "
+        f"{'area r/4φ':>10} {'paper':>7} {'depth r/4φ':>11} {'paper':>7}"
+    )
+    for row in table.rows:
+        p = PAPER_TABLE1[row.name]
+        ours = f"{row.t1_found}/{row.t1_used}"
+        theirs = f"{p['found']}/{p['used']}"
+        out.append(
+            f"{row.name:<12} {ours:>12} {theirs:>12} "
+            f"{row.area_ratio_nphi:>10.2f} {p['area_r'][1]:>7.2f} "
+            f"{row.depth_ratio_nphi:>11.2f} {p['depth_r'][1]:>7.2f}"
+        )
+    avg = table.averages()
+    out.append(
+        f"{'Average':<12} {'':>12} {'':>12} "
+        f"{avg['area_ratio_nphi']:>10.2f} "
+        f"{PAPER_AVERAGES['area_ratio_nphi']:>7.2f} "
+        f"{avg['depth_ratio_nphi']:>11.2f} "
+        f"{PAPER_AVERAGES['depth_ratio_nphi']:>7.2f}"
+    )
+    return out
+
+
+def markdown_report(table: Table) -> str:
+    lines = [
+        "| benchmark | T1 found | T1 used | #DFF 1φ | #DFF 4φ | #DFF T1 |"
+        " Area 1φ | Area 4φ | Area T1 | D 1φ | D 4φ | D T1 |"
+        " area T1/4φ (paper) | depth T1/4φ (paper) |",
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|",
+    ]
+    for r in table.rows:
+        p = PAPER_TABLE1[r.name]
+        lines.append(
+            f"| {r.name} | {r.t1_found} | {r.t1_used} "
+            f"| {r.dff_1phi} | {r.dff_nphi} | {r.dff_t1} "
+            f"| {r.area_1phi} | {r.area_nphi} | {r.area_t1} "
+            f"| {r.depth_1phi} | {r.depth_nphi} | {r.depth_t1} "
+            f"| {r.area_ratio_nphi:.2f} ({p['area_r'][1]:.2f}) "
+            f"| {r.depth_ratio_nphi:.2f} ({p['depth_r'][1]:.2f}) |"
+        )
+    avg = table.averages()
+    lines.append(
+        f"| **Average** | | | | | | | | | | | "
+        f"| **{avg['area_ratio_nphi']:.2f}** "
+        f"({PAPER_AVERAGES['area_ratio_nphi']:.2f}) "
+        f"| **{avg['depth_ratio_nphi']:.2f}** "
+        f"({PAPER_AVERAGES['depth_ratio_nphi']:.2f}) |"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--preset", choices=("paper", "ci"), default="paper")
+    p.add_argument("--sweeps", type=int, default=4)
+    p.add_argument("--verify", choices=("none", "cec"), default="none")
+    p.add_argument("--markdown", help="write a markdown comparison table")
+    args = p.parse_args(argv)
+
+    t0 = time.time()
+    table = collect(args.preset, args.sweeps, args.verify)
+    print()
+    print(f"Table I reproduction ({args.preset} preset)")
+    print(table.format())
+    print()
+    print("comparison with the published table (T1 flow vs 4φ baseline):")
+    print("\n".join(comparison_lines(table)))
+    print(f"\ntotal runtime: {time.time() - t0:.1f}s")
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write(markdown_report(table) + "\n")
+        print(f"wrote {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

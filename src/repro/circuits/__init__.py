@@ -1,0 +1,66 @@
+"""Benchmark circuit generators (EPFL / ISCAS arithmetic suite stand-ins)."""
+
+from repro.circuits.arithmetic import (
+    Bus,
+    add_sub_bus,
+    compare_ge_bus,
+    constant_bus,
+    full_adder,
+    ge_const,
+    kogge_stone_adder,
+    kogge_stone_adder_bus,
+    parity_tree,
+    ripple_carry_adder,
+    ripple_carry_adder_bus,
+    shift_right_arith,
+)
+from repro.circuits.cordic import (
+    cordic_sin_network,
+    cordic_sin_reference,
+    sin_float_of_output,
+)
+from repro.circuits.fir import fir_filter, fir_reference
+from repro.circuits.iscas import c6288_like, c7552_like
+from repro.circuits.log2 import log2_network, log2_reference
+from repro.circuits.multiplier import braun_multiplier, squarer
+from repro.circuits.registry import (
+    TABLE1_ORDER,
+    BenchmarkSpec,
+    benchmark_registry,
+    build,
+    names,
+)
+from repro.circuits.voter import majority_voter, popcount_bus
+
+__all__ = [
+    "BenchmarkSpec",
+    "Bus",
+    "TABLE1_ORDER",
+    "add_sub_bus",
+    "benchmark_registry",
+    "braun_multiplier",
+    "build",
+    "c6288_like",
+    "c7552_like",
+    "compare_ge_bus",
+    "constant_bus",
+    "cordic_sin_network",
+    "cordic_sin_reference",
+    "fir_filter",
+    "fir_reference",
+    "full_adder",
+    "ge_const",
+    "kogge_stone_adder",
+    "kogge_stone_adder_bus",
+    "log2_network",
+    "log2_reference",
+    "majority_voter",
+    "names",
+    "parity_tree",
+    "popcount_bus",
+    "ripple_carry_adder",
+    "ripple_carry_adder_bus",
+    "shift_right_arith",
+    "sin_float_of_output",
+    "squarer",
+]

@@ -1,0 +1,191 @@
+"""Arithmetic building blocks and adder benchmark generators.
+
+All builders follow the same convention: they extend an existing
+:class:`LogicNetwork` and take/return *buses* — lists of node ids, least
+significant bit first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import NetworkError
+from repro.network.logic_network import CONST0, CONST1, LogicNetwork
+
+Bus = List[int]
+
+
+def full_adder(
+    net: LogicNetwork, a: int, b: int, cin: Optional[int] = None
+) -> Tuple[int, int]:
+    """One full adder as XOR3 + MAJ3 (the structure T1 detection targets).
+
+    Without *cin* this degenerates to a half adder (XOR2 + AND2).
+    Returns ``(sum, carry)``.
+    """
+    if cin is None:
+        return net.add_xor(a, b), net.add_and(a, b)
+    return net.add_xor(a, b, cin), net.add_maj3(a, b, cin)
+
+
+def ripple_carry_adder_bus(
+    net: LogicNetwork, a: Bus, b: Bus, cin: Optional[int] = None
+) -> Tuple[Bus, int]:
+    """Bus-level RCA; returns (sum bus, carry out)."""
+    if len(a) != len(b):
+        raise NetworkError("operand width mismatch")
+    sums: Bus = []
+    carry = cin
+    for ai, bi in zip(a, b):
+        s, carry = full_adder(net, ai, bi, carry)
+        sums.append(s)
+    assert carry is not None
+    return sums, carry
+
+
+def kogge_stone_adder_bus(
+    net: LogicNetwork, a: Bus, b: Bus, cin: Optional[int] = None
+) -> Tuple[Bus, int]:
+    """Logarithmic-depth parallel-prefix adder (used inside sin / log2).
+
+    Classic Kogge-Stone: generate/propagate pairs combined over
+    power-of-two spans; depth ≈ 2 + log2(width).
+    """
+    if len(a) != len(b):
+        raise NetworkError("operand width mismatch")
+    width = len(a)
+    g: Bus = [net.add_and(ai, bi) for ai, bi in zip(a, b)]
+    p: Bus = [net.add_xor(ai, bi) for ai, bi in zip(a, b)]
+    p_orig = list(p)
+    if cin is not None:
+        # absorb carry-in into the bit-0 generate
+        g[0] = net.add_or(g[0], net.add_and(p[0], cin))
+    dist = 1
+    while dist < width:
+        new_g = list(g)
+        new_p = list(p)
+        for i in range(dist, width):
+            new_g[i] = net.add_or(g[i], net.add_and(p[i], g[i - dist]))
+            new_p[i] = net.add_and(p[i], p[i - dist])
+        g, p = new_g, new_p
+        dist *= 2
+    sums: Bus = [p_orig[0] if cin is None else net.add_xor(p_orig[0], cin)]
+    for i in range(1, width):
+        sums.append(net.add_xor(p_orig[i], g[i - 1]))
+    return sums, g[width - 1]
+
+
+def add_sub_bus(
+    net: LogicNetwork, a: Bus, b: Bus, subtract: int
+) -> Tuple[Bus, int]:
+    """a ± b selected by the *subtract* signal (two's complement).
+
+    Uses a Kogge-Stone core: b is conditionally inverted and *subtract*
+    feeds the carry-in.
+    """
+    b_sel = [net.add_xor(bi, subtract) for bi in b]
+    return kogge_stone_adder_bus(net, a, b_sel, cin=subtract)
+
+
+def shift_right_arith(net: LogicNetwork, bus: Bus, amount: int) -> Bus:
+    """Static arithmetic right shift (sign extension by the MSB)."""
+    if amount <= 0:
+        return list(bus)
+    msb = bus[-1]
+    return list(bus[amount:]) + [msb] * min(amount, len(bus))
+
+
+def constant_bus(value: int, width: int) -> Bus:
+    """A bus of constant nodes encoding *value*."""
+    return [CONST1 if (value >> i) & 1 else CONST0 for i in range(width)]
+
+
+def ge_const(net: LogicNetwork, bus: Bus, threshold: int) -> int:
+    """Unsigned comparison ``bus >= threshold`` against a constant.
+
+    Ripple from the MSB: at each bit, if the constant bit is 0 a set input
+    bit decides *greater*; if 1, a clear input bit decides *less*.
+    """
+    if threshold <= 0:
+        return CONST1
+    if threshold >= (1 << len(bus)):
+        return CONST0
+    ge: Optional[int] = None  # result considering bits above current
+    # process from MSB down; maintain "greater" and "equal so far"
+    greater: Optional[int] = None
+    equal: Optional[int] = None
+    for i in reversed(range(len(bus))):
+        tbit = (threshold >> i) & 1
+        x = bus[i]
+        if tbit == 0:
+            gt_here = x  # input 1 > constant 0
+            eq_here = net.add_not(x)
+        else:
+            gt_here = CONST0
+            eq_here = x
+        if greater is None:
+            greater = gt_here
+            equal = eq_here
+        else:
+            if gt_here != CONST0:
+                greater = net.add_or(greater, net.add_and(equal, gt_here))
+            if eq_here != CONST0:
+                equal = net.add_and(equal, eq_here)
+            else:  # pragma: no cover - defensive; eq_here is never const0
+                equal = CONST0
+    assert greater is not None and equal is not None
+    return net.add_or(greater, equal)
+
+
+def compare_ge_bus(net: LogicNetwork, a: Bus, b: Bus) -> int:
+    """Unsigned ``a >= b`` between two buses (ripple borrow from subtract)."""
+    # a >= b  <=>  a - b does not borrow  <=>  carry out of a + ~b + 1
+    nb = [net.add_not(bi) for bi in b]
+    _, carry = ripple_carry_adder_bus(net, a, nb, cin=CONST1)
+    return carry
+
+
+def parity_tree(net: LogicNetwork, bus: Bus) -> int:
+    """Balanced XOR tree (odd parity)."""
+    layer = list(bus)
+    if not layer:
+        return CONST0
+    while len(layer) > 1:
+        nxt: Bus = []
+        for i in range(0, len(layer) - 2, 3):
+            nxt.append(net.add_xor(layer[i], layer[i + 1], layer[i + 2]))
+        rem = len(layer) % 3
+        if rem == 1:
+            nxt.append(layer[-1])
+        elif rem == 2:
+            nxt.append(net.add_xor(layer[-2], layer[-1]))
+        layer = nxt
+    return layer[0]
+
+
+def ripple_carry_adder(bits: int = 128, name: str = "adder") -> LogicNetwork:
+    """The paper's ``adder`` benchmark: an n-bit ripple-carry adder.
+
+    A chain of bits − 1 full adders behind one half adder — the circuit
+    where the T1 flow replaces "almost the entire circuit".
+    """
+    net = LogicNetwork(name)
+    a = [net.add_pi(f"a{i}") for i in range(bits)]
+    b = [net.add_pi(f"b{i}") for i in range(bits)]
+    sums, carry = ripple_carry_adder_bus(net, a, b)
+    for i, s in enumerate(sums):
+        net.add_po(s, f"s{i}")
+    net.add_po(carry, "cout")
+    return net
+
+
+def kogge_stone_adder(bits: int = 32, name: str = "ks_adder") -> LogicNetwork:
+    """Stand-alone Kogge-Stone adder (shallow baseline / examples)."""
+    net = LogicNetwork(name)
+    a = [net.add_pi(f"a{i}") for i in range(bits)]
+    b = [net.add_pi(f"b{i}") for i in range(bits)]
+    sums, carry = kogge_stone_adder_bus(net, a, b)
+    for i, s in enumerate(sums):
+        net.add_po(s, f"s{i}")
+    net.add_po(carry, "cout")
+    return net

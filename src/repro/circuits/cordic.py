@@ -1,0 +1,119 @@
+"""CORDIC sine benchmark (EPFL ``sin`` stand-in).
+
+Rotation-mode CORDIC in fixed point: starting from (x, y) = (K⁻¹·1, 0)
+and the input angle z, each iteration rotates by ±arctan(2⁻ⁱ) choosing
+the sign that drives z towards 0:
+
+    d_i = sign(z_i)
+    x_{i+1} = x_i − d_i · (y_i >> i)
+    y_{i+1} = y_i + d_i · (x_i >> i)
+    z_{i+1} = z_i − d_i · arctan(2⁻ⁱ)
+
+After N iterations y ≈ sin(z), x ≈ cos(z).  The circuit is a cascade of
+add/subtract stages (Kogge-Stone cores) — an arithmetic pipeline of
+moderate depth like the EPFL ``sin`` network.
+
+The matching bit-exact software model lives in
+:func:`cordic_sin_reference`; tests assert (a) circuit ≡ reference
+bit-for-bit and (b) reference ≈ ``math.sin`` within the fixed-point
+tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.circuits.arithmetic import (
+    Bus,
+    add_sub_bus,
+    constant_bus,
+    shift_right_arith,
+)
+from repro.network.logic_network import LogicNetwork
+
+#: fixed-point fraction bits used by both circuit and reference
+def _atan_table(iterations: int, frac_bits: int) -> List[int]:
+    return [
+        int(round(math.atan(2.0 ** -i) * (1 << frac_bits)))
+        for i in range(iterations)
+    ]
+
+
+def _cordic_gain(iterations: int) -> float:
+    k = 1.0
+    for i in range(iterations):
+        k *= math.sqrt(1 + 2.0 ** (-2 * i))
+    return k
+
+
+def cordic_sin_network(
+    width: int = 16,
+    iterations: int = 12,
+    name: str = "sin",
+) -> LogicNetwork:
+    """Build the CORDIC sine circuit.
+
+    The input is the angle z in two's-complement fixed point with
+    ``width − 3`` fraction bits (range comfortably covers ±π/2); the
+    output is sin(z) with the same format.
+    """
+    net = LogicNetwork(name)
+    frac = width - 3
+    z: Bus = [net.add_pi(f"z{i}") for i in range(width)]
+    inv_gain = int(round((1.0 / _cordic_gain(iterations)) * (1 << frac)))
+    x: Bus = constant_bus(inv_gain, width)
+    y: Bus = constant_bus(0, width)
+    atans = _atan_table(iterations, frac)
+    for i in range(iterations):
+        sign = z[-1]  # MSB: 1 when z < 0 -> rotate the other way
+        xs = shift_right_arith(net, x, i)
+        ys = shift_right_arith(net, y, i)
+        # d = +1 when z >= 0: x -= ys, y += xs, z -= atan
+        # d = -1 when z <  0: x += ys, y -= xs, z += atan
+        not_sign = net.add_not(sign)
+        new_x, _ = add_sub_bus(net, x, ys, not_sign)
+        new_y, _ = add_sub_bus(net, y, xs, sign)
+        new_z, _ = add_sub_bus(net, z, constant_bus(atans[i], width), not_sign)
+        x, y, z = new_x, new_y, new_z
+    for i, bit in enumerate(y):
+        net.add_po(bit, f"sin{i}")
+    return net
+
+
+def cordic_sin_reference(
+    angle_fixed: int, width: int = 16, iterations: int = 12
+) -> int:
+    """Bit-exact software model of :func:`cordic_sin_network`.
+
+    *angle_fixed* is the two's-complement input word; returns the output
+    word (also two's complement, ``width`` bits).
+    """
+    frac = width - 3
+    mask = (1 << width) - 1
+
+    def to_signed(v: int) -> int:
+        v &= mask
+        return v - (1 << width) if v >> (width - 1) else v
+
+    def asr(v: int, k: int) -> int:
+        return to_signed(v) >> k
+
+    inv_gain = int(round((1.0 / _cordic_gain(iterations)) * (1 << frac)))
+    atans = _atan_table(iterations, frac)
+    x, y, z = inv_gain, 0, to_signed(angle_fixed)
+    for i in range(iterations):
+        if z >= 0:
+            x, y, z = x - asr(y, i), y + asr(x, i), z - atans[i]
+        else:
+            x, y, z = x + asr(y, i), y - asr(x, i), z + atans[i]
+        x, y, z = to_signed(x & mask), to_signed(y & mask), to_signed(z & mask)
+    return y & mask
+
+
+def sin_float_of_output(word: int, width: int = 16) -> float:
+    """Decode a circuit output word into a float."""
+    frac = width - 3
+    if word >> (width - 1):
+        word -= 1 << width
+    return word / (1 << frac)

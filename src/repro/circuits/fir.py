@@ -1,0 +1,82 @@
+"""Feed-forward FIR filter datapath — an application-style workload.
+
+The paper's introduction motivates RSFQ for "large-scale stationary
+computing, space electronics and interface circuitry for quantum
+computing" — streaming DSP kernels are the canonical shape of such
+workloads, and a gate-level-pipelined SFQ implementation computes one
+output sample per clock cycle with no extra control.
+
+``fir_filter`` builds the combinational datapath of an N-tap FIR with
+constant coefficients:
+
+    y = Σ_k  c_k · x_k
+
+where x_0..x_{N-1} are the delayed input samples (presented as separate
+input buses; the delay line itself is the pipeline's job) and the c_k are
+compile-time constants.  Constant multiplication is realised as a
+shift-and-add tree of full adders — prime T1 detection material, like the
+multiplier benchmarks.
+
+``fir_reference`` is the bit-exact software model used by the tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.circuits.arithmetic import Bus
+from repro.circuits.multiplier import _carry_save_rows
+from repro.errors import ReproError
+from repro.network.logic_network import CONST0, LogicNetwork
+
+
+def _const_mult_rows(x: Bus, coeff: int, width: int) -> List[Bus]:
+    """Partial-product rows of x * coeff (coeff a non-negative constant)."""
+    rows: List[Bus] = []
+    shift = 0
+    while coeff:
+        if coeff & 1:
+            rows.append([CONST0] * shift + list(x[: max(0, width - shift)]))
+        coeff >>= 1
+        shift += 1
+    return rows
+
+
+def fir_filter(
+    coefficients: Sequence[int],
+    sample_bits: int = 8,
+    name: str = "fir",
+) -> LogicNetwork:
+    """Build the FIR datapath network.
+
+    Inputs: one ``sample_bits``-wide bus per tap (x0 = newest sample).
+    Output: the accumulated sum, wide enough to never overflow.
+    """
+    if not coefficients:
+        raise ReproError("FIR needs at least one coefficient")
+    if any(c < 0 for c in coefficients):
+        raise ReproError("negative coefficients not supported (use unsigned)")
+    total = sum(coefficients) * ((1 << sample_bits) - 1)
+    out_bits = max(1, total.bit_length())
+
+    net = LogicNetwork(name)
+    taps: List[Bus] = []
+    for k in range(len(coefficients)):
+        taps.append([net.add_pi(f"x{k}_{i}") for i in range(sample_bits)])
+    rows: List[Bus] = []
+    for x, c in zip(taps, coefficients):
+        rows.extend(_const_mult_rows(x, c, out_bits))
+    if not rows:
+        rows = [[CONST0]]
+    acc = _carry_save_rows(net, rows, out_bits)
+    for i, bit in enumerate(acc):
+        net.add_po(bit, f"y{i}")
+    return net
+
+
+def fir_reference(
+    samples: Sequence[int], coefficients: Sequence[int], sample_bits: int = 8
+) -> int:
+    """Bit-exact model of :func:`fir_filter` for one set of tap values."""
+    mask = (1 << sample_bits) - 1
+    return sum((s & mask) * c for s, c in zip(samples, coefficients))

@@ -1,0 +1,172 @@
+"""Base-2 logarithm benchmark (EPFL ``log2`` stand-in).
+
+Computes log2 of an unsigned input by the classic iterative-squaring
+digit recurrence:
+
+1. the integer part is the index of the leading one (priority encoder);
+2. the input is normalised into m ∈ [1, 2) by a barrel shifter;
+3. each fraction bit comes from one squaring step: m ← m²; if m ≥ 2
+   the bit is 1 and m is halved.
+
+Every fraction step embeds a small array multiplier, so the circuit mixes
+multiplier fabric (full adders — T1 material) with mux/priority logic,
+similar in flavour to the EPFL ``log2`` network.
+
+The bit-exact reference model is :func:`log2_reference`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.circuits.arithmetic import Bus, full_adder, ripple_carry_adder_bus
+from repro.network.logic_network import CONST0, CONST1, LogicNetwork
+
+
+def _mux_bus(net: LogicNetwork, sel: int, d0: Bus, d1: Bus) -> Bus:
+    return [net.add_mux(sel, a, b) for a, b in zip(d0, d1)]
+
+
+def _square_bus(net: LogicNetwork, m: Bus, keep: int) -> Bus:
+    """m² truncated to the top ``keep`` bits of the 2·len(m) result.
+
+    m is an unsigned fixed-point word with the binary point after bit
+    len(m)−2 (i.e. m ∈ [1, 4) representable, actual values in [1, 2)).
+    """
+    width = len(m)
+    full = 2 * width
+    # folded squarer columns: diagonal a_i at weight 2i, each pair (i, j),
+    # i < j, once at weight i+j+1
+    columns: List[List[int]] = [[] for _ in range(full)]
+    for i in range(width):
+        columns[2 * i].append(m[i])
+        for j in range(i + 1, width):
+            columns[i + j + 1].append(net.add_and(m[i], m[j]))
+    while any(len(col) > 2 for col in columns):
+        nxt: List[List[int]] = [[] for _ in range(full)]
+        for w, col in enumerate(columns):
+            i = 0
+            while len(col) - i >= 3:
+                s, c = full_adder(net, col[i], col[i + 1], col[i + 2])
+                nxt[w].append(s)
+                if w + 1 < full:
+                    nxt[w + 1].append(c)
+                i += 3
+            if len(col) - i == 2:
+                s, c = full_adder(net, col[i], col[i + 1])
+                nxt[w].append(s)
+                if w + 1 < full:
+                    nxt[w + 1].append(c)
+                i += 2
+            while i < len(col):
+                nxt[w].append(col[i])
+                i += 1
+        columns = nxt
+    a: Bus = [col[0] if col else CONST0 for col in columns]
+    b: Bus = [col[1] if len(col) > 1 else CONST0 for col in columns]
+    sums, _ = ripple_carry_adder_bus(net, a, b)
+    return sums[full - keep :]
+
+
+def log2_network(
+    width: int = 16,
+    frac_bits: int = 8,
+    name: str = "log2",
+) -> LogicNetwork:
+    """log2 of a ``width``-bit unsigned input.
+
+    ``width`` must be a power of two so the normalising shift
+    ``width − 1 − e`` is the bitwise complement of e.  Output:
+    ``log2(width)`` integer bits ‖ ``frac_bits`` fraction bits, LSB first;
+    log2(0) is defined as 0 (all-zero output), matching the reference.
+    """
+    if width & (width - 1):
+        raise ValueError("log2_network width must be a power of two")
+    net = LogicNetwork(name)
+    x: Bus = [net.add_pi(f"x{i}") for i in range(width)]
+    int_bits = max(1, math.ceil(math.log2(width)))
+
+    # 1. leading-one position e: priority encode from the MSB
+    seen: int = CONST0  # any higher bit set
+    e_bus: Bus = [CONST0] * int_bits
+    # is_leading[i] = x[i] & !(any higher set)
+    leading: List[int] = [CONST0] * width
+    seen = CONST0
+    for i in reversed(range(width)):
+        if seen == CONST0:
+            leading[i] = x[i]
+            seen = x[i]
+        else:
+            leading[i] = net.add_and(x[i], net.add_not(seen))
+            seen = net.add_or(seen, x[i])
+    for bit in range(int_bits):
+        ones = [leading[i] for i in range(width) if (i >> bit) & 1]
+        if len(ones) == 1:
+            e_bus[bit] = ones[0]
+        elif ones:
+            acc = ones[0]
+            for o in ones[1:]:
+                acc = net.add_or(acc, o)
+            e_bus[bit] = acc
+
+    # 2. normalise: m = x << (width - 1 - e), so the leading one lands at
+    #    the MSB; barrel shifter over the bits of e
+    m: Bus = list(x)
+    for bit in range(int_bits):
+        shift = 1 << bit
+        # if e-bit is 0, shift left by `shift` (we shift by (width-1-e))
+        shifted = ([CONST0] * shift + m)[:width]
+        inv = net.add_not(e_bus[bit]) if e_bus[bit] != CONST0 else CONST1
+        m = _mux_bus(net, inv, m, shifted)
+    # handle the MSB alignment: with e encoded, after the loop the
+    # leading one is at position width-1 (for x != 0)
+
+    # 3. fraction bits by iterative squaring of the normalised mantissa
+    frac_out: List[int] = []
+    mant: Bus = list(m)  # binary point right below the MSB
+    for _ in range(frac_bits):
+        sq = _square_bus(net, mant, keep=len(mant) + 1)
+        # sq has one extra integer bit: value in [1, 4)
+        ge2 = sq[-1]  # >= 2 when the extra top bit is set
+        frac_out.append(ge2)
+        # if >= 2 take the top `width` bits (halving), else drop the top bit
+        hi = sq[1:]  # divided by 2
+        lo = sq[:-1]
+        mant = _mux_bus(net, ge2, lo, hi)
+
+    for i, bit in enumerate(frac_out[::-1]):
+        net.add_po(bit, f"f{i}")
+    for i, bit in enumerate(e_bus):
+        net.add_po(bit, f"e{i}")
+    return net
+
+
+def log2_reference(
+    value: int, width: int = 16, frac_bits: int = 8
+) -> Tuple[int, int]:
+    """Bit-exact model of :func:`log2_network`.
+
+    Returns ``(integer_part, fraction_bits_word)`` where the fraction word
+    has its first computed bit as MSB (matching PO order f0..f{frac-1}
+    LSB-first of the reversed list).
+    """
+    if value <= 0:
+        return 0, 0
+    e = value.bit_length() - 1
+    m = value << (width - 1 - e)  # leading one at bit width-1
+    frac_bits_list: List[int] = []
+    for _ in range(frac_bits):
+        sq = m * m  # 2*width bits, point below bit 2*width-2
+        keep = width + 1
+        sq_trunc = sq >> (2 * width - keep)
+        ge2 = (sq_trunc >> width) & 1
+        frac_bits_list.append(ge2)
+        if ge2:
+            m = sq_trunc >> 1
+        else:
+            m = sq_trunc & ((1 << width) - 1)
+    frac_word = 0
+    for bit in frac_bits_list:
+        frac_word = (frac_word << 1) | bit
+    return e, frac_word

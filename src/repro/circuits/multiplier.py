@@ -1,0 +1,120 @@
+"""Array multiplier and squarer benchmark generators.
+
+``braun_multiplier`` is the classic carry-save array of AND partial
+products and full-adder cells — the same structure as the ISCAS-85 c6288
+(16×16) and a stand-in for the EPFL ``multiplier`` (64×64).  The EPFL
+``square`` benchmark is reproduced by the folded array squarer.
+
+These are exactly the full-adder-dominated fabrics where the paper finds
+hundreds of T1 cells.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.circuits.arithmetic import Bus, full_adder, ripple_carry_adder_bus
+from repro.network.logic_network import CONST0, LogicNetwork
+
+
+def _carry_save_rows(
+    net: LogicNetwork, rows: List[Bus], width: int
+) -> Bus:
+    """Accumulate weighted partial-product rows with a carry-save array.
+
+    ``rows[j]`` holds bits of weight ``j + position``; all rows are given
+    already aligned: ``rows[j][i]`` has absolute weight ``i``.  Returns the
+    final sum bus of ``width`` bits (extra weight truncated, as in c6288's
+    modulo behaviour when widths are clipped).
+    """
+    # columns[w] = list of nodes of weight w
+    columns: List[List[int]] = [[] for _ in range(width)]
+    for row in rows:
+        for w, bit in enumerate(row):
+            if w < width and bit != CONST0:
+                columns[w].append(bit)
+    # reduce columns with full adders until every column has <= 2 entries
+    while any(len(col) > 2 for col in columns):
+        new_columns: List[List[int]] = [[] for _ in range(width)]
+        for w, col in enumerate(columns):
+            i = 0
+            while len(col) - i >= 3:
+                s, c = full_adder(net, col[i], col[i + 1], col[i + 2])
+                new_columns[w].append(s)
+                if w + 1 < width:
+                    new_columns[w + 1].append(c)
+                i += 3
+            if len(col) - i == 2:
+                s, c = full_adder(net, col[i], col[i + 1])
+                new_columns[w].append(s)
+                if w + 1 < width:
+                    new_columns[w + 1].append(c)
+                i += 2
+            while i < len(col):
+                new_columns[w].append(col[i])
+                i += 1
+        columns = new_columns
+    # final carry-propagate addition of the two remaining operands
+    a: Bus = []
+    b: Bus = []
+    for w in range(width):
+        col = columns[w]
+        a.append(col[0] if len(col) >= 1 else CONST0)
+        b.append(col[1] if len(col) >= 2 else CONST0)
+    sums, carry = ripple_carry_adder_bus(net, a, b)
+    del carry  # truncated at `width`
+    return sums
+
+
+def braun_multiplier(
+    bits: int = 64, name: str = "multiplier", out_bits: Optional[int] = None
+) -> LogicNetwork:
+    """n×n array multiplier (AND partial products + FA reduction array)."""
+    net = LogicNetwork(name)
+    a = [net.add_pi(f"a{i}") for i in range(bits)]
+    b = [net.add_pi(f"b{i}") for i in range(bits)]
+    width = out_bits if out_bits is not None else 2 * bits
+    rows: List[Bus] = []
+    for j in range(bits):
+        row: Bus = [CONST0] * j
+        for i in range(bits):
+            if i + j < width:
+                row.append(net.add_and(a[i], b[j]))
+        rows.append(row)
+    product = _carry_save_rows(net, rows, width)
+    for i, bit in enumerate(product):
+        net.add_po(bit, f"p{i}")
+    return net
+
+
+def squarer(bits: int = 32, name: str = "square") -> LogicNetwork:
+    """Folded array squarer: p = a².
+
+    Uses the identity a_i·a_j + a_j·a_i = 2·(a_i·a_j): off-diagonal
+    partial products are generated once at weight i+j+1, the diagonal
+    contributes a_i (a_i·a_i = a_i) at weight 2i — roughly half the
+    partial products of a generic multiplier, like the EPFL ``square``.
+    """
+    net = LogicNetwork(name)
+    a = [net.add_pi(f"a{i}") for i in range(bits)]
+    width = 2 * bits
+    rows: List[Bus] = []
+    for i in range(bits):
+        diag: Bus = [CONST0] * (2 * i) + [a[i]]
+        rows.append(diag)
+        row: Bus = []
+        pending: List[Tuple[int, int]] = []
+        for j in range(i + 1, bits):
+            pending.append((i + j + 1, net.add_and(a[i], a[j])))
+        if pending:
+            base = pending[0][0]
+            row = [CONST0] * base
+            for w, node in pending:
+                while len(row) < w:
+                    row.append(CONST0)
+                row.append(node)
+            rows.append(row)
+    product = _carry_save_rows(net, rows, width)
+    for i, bit in enumerate(product):
+        net.add_po(bit, f"p{i}")
+    return net

@@ -1,0 +1,119 @@
+"""Benchmark registry: the paper's Table-I circuit suite.
+
+Two size presets per benchmark:
+
+* ``paper`` — the scale evaluated in the paper (or the closest our
+  generators express: the EPFL/ISCAS functions at their original widths);
+* ``ci`` — down-scaled variants used by the test-suite and the default
+  pytest-benchmark runs so they finish in seconds.
+
+``build(name, preset="paper")`` returns a fresh
+:class:`~repro.network.logic_network.LogicNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.circuits.arithmetic import ripple_carry_adder
+from repro.circuits.cordic import cordic_sin_network
+from repro.circuits.iscas import c6288_like, c7552_like
+from repro.circuits.log2 import log2_network
+from repro.circuits.multiplier import braun_multiplier, squarer
+from repro.circuits.voter import majority_voter
+from repro.errors import ReproError
+from repro.network.logic_network import LogicNetwork
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One registered benchmark with its two size presets."""
+
+    name: str
+    description: str
+    paper: Callable[[], LogicNetwork]
+    ci: Callable[[], LogicNetwork]
+
+
+#: Table-I order
+TABLE1_ORDER: Tuple[str, ...] = (
+    "adder",
+    "c7552",
+    "c6288",
+    "sin",
+    "voter",
+    "square",
+    "multiplier",
+    "log2",
+)
+
+benchmark_registry: Dict[str, BenchmarkSpec] = {
+    "adder": BenchmarkSpec(
+        "adder",
+        "128-bit ripple-carry adder (EPFL adder)",
+        paper=lambda: ripple_carry_adder(128),
+        ci=lambda: ripple_carry_adder(16),
+    ),
+    "c7552": BenchmarkSpec(
+        "c7552",
+        "32-bit adder/comparator/parity block (ISCAS-85 c7552)",
+        paper=lambda: c7552_like(32),
+        ci=lambda: c7552_like(8),
+    ),
+    "c6288": BenchmarkSpec(
+        "c6288",
+        "16x16 array multiplier (ISCAS-85 c6288)",
+        paper=lambda: c6288_like(16),
+        ci=lambda: c6288_like(6),
+    ),
+    "sin": BenchmarkSpec(
+        "sin",
+        "CORDIC fixed-point sine (EPFL sin)",
+        paper=lambda: cordic_sin_network(width=16, iterations=12),
+        ci=lambda: cordic_sin_network(width=8, iterations=5),
+    ),
+    "voter": BenchmarkSpec(
+        "voter",
+        "1001-input majority voter (EPFL voter)",
+        paper=lambda: majority_voter(1001),
+        ci=lambda: majority_voter(99),
+    ),
+    "square": BenchmarkSpec(
+        "square",
+        "folded array squarer (EPFL square)",
+        paper=lambda: squarer(48),
+        ci=lambda: squarer(10),
+    ),
+    "multiplier": BenchmarkSpec(
+        "multiplier",
+        "Braun array multiplier (EPFL multiplier)",
+        paper=lambda: braun_multiplier(48),
+        ci=lambda: braun_multiplier(8),
+    ),
+    "log2": BenchmarkSpec(
+        "log2",
+        "iterative-squaring base-2 logarithm (EPFL log2)",
+        paper=lambda: log2_network(width=16, frac_bits=8),
+        ci=lambda: log2_network(width=8, frac_bits=4),
+    ),
+}
+
+
+def build(name: str, preset: str = "paper") -> LogicNetwork:
+    """Instantiate a registered benchmark."""
+    spec = benchmark_registry.get(name)
+    if spec is None:
+        raise ReproError(
+            f"unknown benchmark {name!r}; known: {sorted(benchmark_registry)}"
+        )
+    if preset == "paper":
+        return spec.paper()
+    if preset == "ci":
+        return spec.ci()
+    raise ReproError(f"unknown preset {preset!r} (use 'paper' or 'ci')")
+
+
+def names() -> List[str]:
+    """Benchmark names in the paper's Table-I order."""
+    return list(TABLE1_ORDER)

@@ -1,0 +1,80 @@
+"""Majority voter benchmark (EPFL ``voter`` stand-in).
+
+The EPFL voter decides the majority of 1001 inputs.  The natural
+arithmetic structure is a population count built from full-adder (3:2)
+compressors followed by a constant comparison against ⌈N/2⌉ — again a
+full-adder fabric that T1 detection feasts on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuits.arithmetic import Bus, full_adder, ge_const
+from repro.network.logic_network import LogicNetwork
+
+
+def popcount_bus(net: LogicNetwork, inputs: List[int]) -> Bus:
+    """Population count via carry-save 3:2 compression.
+
+    Maintains buckets of equal-weight wires; repeatedly compresses triples
+    (full adder) and pairs (half adder) until one wire per weight remains.
+    """
+    buckets: Dict[int, List[int]] = {0: list(inputs)}
+    changed = True
+    while changed:
+        changed = False
+        # round-based (Wallace-style) compression: consume the current
+        # layer breadth-first so the tree stays balanced in depth
+        next_buckets: Dict[int, List[int]] = {}
+        for w in sorted(buckets):
+            wires = buckets[w]
+            i = 0
+            while len(wires) - i >= 3:
+                s, cy = full_adder(net, wires[i], wires[i + 1], wires[i + 2])
+                next_buckets.setdefault(w, []).append(s)
+                next_buckets.setdefault(w + 1, []).append(cy)
+                i += 3
+                changed = True
+            if len(wires) - i == 2 and len(wires) > 2:
+                s, cy = full_adder(net, wires[i], wires[i + 1])
+                next_buckets.setdefault(w, []).append(s)
+                next_buckets.setdefault(w + 1, []).append(cy)
+                i += 2
+                changed = True
+            while i < len(wires):
+                next_buckets.setdefault(w, []).append(wires[i])
+                i += 1
+        buckets = next_buckets
+        # finish residual pairs once nothing has >= 3 wires
+        if not changed:
+            for w in sorted(buckets):
+                if len(buckets[w]) >= 2:
+                    wires = buckets[w]
+                    s, cy = full_adder(net, wires[0], wires[1])
+                    buckets[w] = [s] + wires[2:]
+                    buckets.setdefault(w + 1, []).append(cy)
+                    changed = True
+                    break
+    width = max(buckets) + 1
+    out: Bus = []
+    for w in range(width):
+        wires = buckets.get(w, [])
+        assert len(wires) <= 1
+        if wires:
+            out.append(wires[0])
+        else:  # weight absent (can happen for the top weight only)
+            from repro.network.logic_network import CONST0
+
+            out.append(CONST0)
+    return out
+
+
+def majority_voter(num_inputs: int = 1001, name: str = "voter") -> LogicNetwork:
+    """Single-output majority of *num_inputs* (strict: ones > N/2)."""
+    net = LogicNetwork(name)
+    inputs = [net.add_pi(f"x{i}") for i in range(num_inputs)]
+    count = popcount_bus(net, inputs)
+    threshold = num_inputs // 2 + 1
+    net.add_po(ge_const(net, count, threshold), "majority")
+    return net

@@ -1,0 +1,184 @@
+"""``repro-flow`` command-line driver.
+
+Examples::
+
+    repro-flow run adder --phases 4 --t1            # one flow, one circuit
+    repro-flow table --preset ci                    # the Table-I comparison
+    repro-flow list                                 # registered benchmarks
+    repro-flow run mydesign.blif --t1 --verify full # external netlist
+    repro-flow fig1b                                # T1 pulse waveform
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.circuits import benchmark_registry, build, names
+from repro.core import (
+    FlowConfig,
+    Table,
+    TableRow,
+    run_baselines_and_t1,
+    run_flow,
+)
+from repro.network.logic_network import LogicNetwork
+
+
+def _load_network(source: str, preset: str) -> LogicNetwork:
+    if source in benchmark_registry:
+        return build(source, preset)
+    if source.endswith(".blif"):
+        from repro.io import read_blif
+
+        with open(source) as fh:
+            return read_blif(fh)
+    if source.endswith(".bench"):
+        from repro.io import read_bench
+
+        with open(source) as fh:
+            return read_bench(fh)
+    raise SystemExit(
+        f"unknown benchmark or file {source!r} "
+        f"(known benchmarks: {', '.join(names())})"
+    )
+
+
+def _cmd_list(_args) -> int:
+    print(f"{'name':<12} description")
+    print("-" * 60)
+    for name in names():
+        print(f"{name:<12} {benchmark_registry[name].description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    net = _load_network(args.benchmark, args.preset)
+    config = FlowConfig(
+        n_phases=args.phases,
+        use_t1=args.t1,
+        verify=args.verify,
+        sweeps=args.sweeps,
+        balance_pos=not args.no_po_balance,
+        share_chains=not args.no_share,
+        balance_network=args.balance,
+    )
+    res = run_flow(net, config)
+    m = res.metrics
+    print(f"benchmark : {net.name}")
+    print(f"flow      : {'T1 + ' if args.t1 else ''}{args.phases}-phase")
+    if args.t1:
+        print(f"T1 cells  : found {res.t1_found}, used {res.t1_used}")
+    print(f"#DFF      : {m.num_dffs}")
+    print(f"area (JJ) : {m.area_jj}")
+    print(f"depth     : {m.depth_cycles} cycles")
+    print(f"splitters : {m.num_splitters}")
+    print(f"runtime   : {res.runtime_s:.2f} s")
+    if res.verified is not None:
+        print(f"verified  : {res.verified}")
+    if args.energy:
+        from repro.sfq import estimate_energy
+
+        rep = estimate_energy(res.netlist, frequency_ghz=args.frequency)
+        print(f"energy    : {rep.summary()}")
+    if args.dot:
+        from repro.io import netlist_to_dot
+
+        with open(args.dot, "w") as fh:
+            netlist_to_dot(res.netlist, fh)
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    rows: List[TableRow] = []
+    targets = args.benchmarks or list(names())
+    for name in targets:
+        net = _load_network(name, args.preset)
+        results = run_baselines_and_t1(
+            net, n_phases=args.phases, verify=args.verify, sweeps=args.sweeps
+        )
+        rows.append(TableRow.from_results(name, results))
+        print(f"[{name}: done]", file=sys.stderr)
+    table = Table(rows, n_phases=args.phases)
+    print(table.format())
+    return 0
+
+
+def _cmd_fig1b(_args) -> int:
+    from repro.sfq import simulate_pulse_train, waveform_ascii
+
+    events = [
+        (0, "T"), (3, "R"),
+        (4, "T"), (5, "T"), (7, "R"),
+        (8, "T"), (9, "T"), (10, "T"), (11, "R"),
+    ]
+    history = simulate_pulse_train(events)
+    print("T1 cell pulse-level simulation (Fig. 1b stimulus: a | ab | abc)")
+    print(waveform_ascii(history))
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-flow",
+        description="T1-aware SFQ technology mapping (DATE 2024 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered benchmarks").set_defaults(
+        fn=_cmd_list
+    )
+
+    run_p = sub.add_parser("run", help="run one flow on one circuit")
+    run_p.add_argument("benchmark", help="benchmark name or .blif/.bench file")
+    run_p.add_argument("--phases", "-n", type=int, default=4)
+    run_p.add_argument("--t1", action="store_true", help="enable T1 detection")
+    run_p.add_argument(
+        "--preset", choices=("paper", "ci"), default="paper",
+        help="benchmark size preset",
+    )
+    run_p.add_argument(
+        "--verify", choices=("none", "cec", "full"), default="cec"
+    )
+    run_p.add_argument("--sweeps", type=int, default=4)
+    run_p.add_argument("--no-po-balance", action="store_true")
+    run_p.add_argument("--no-share", action="store_true",
+                       help="per-edge DFF chains (no net sharing)")
+    run_p.add_argument("--dot", help="write the staged netlist as DOT")
+    run_p.add_argument("--energy", action="store_true",
+                       help="print the RSFQ energy/power estimate")
+    run_p.add_argument("--frequency", type=float, default=20.0,
+                       help="clock frequency in GHz for --energy")
+    run_p.add_argument("--balance", action="store_true",
+                       help="depth-rebalance associative trees first")
+    run_p.set_defaults(fn=_cmd_run)
+
+    tab_p = sub.add_parser("table", help="reproduce Table I")
+    tab_p.add_argument(
+        "benchmarks", nargs="*", help="subset of benchmarks (default: all)"
+    )
+    tab_p.add_argument("--phases", "-n", type=int, default=4)
+    tab_p.add_argument(
+        "--preset", choices=("paper", "ci"), default="paper"
+    )
+    tab_p.add_argument(
+        "--verify", choices=("none", "cec", "full"), default="none"
+    )
+    tab_p.add_argument("--sweeps", type=int, default=4)
+    tab_p.set_defaults(fn=_cmd_table)
+
+    sub.add_parser(
+        "fig1b", help="reproduce the Fig. 1b pulse waveform"
+    ).set_defaults(fn=_cmd_fig1b)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

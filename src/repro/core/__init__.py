@@ -1,0 +1,79 @@
+"""The paper's contribution: the three-stage T1-aware mapping flow."""
+
+from repro.core.dff_insertion import (
+    InsertionReport,
+    T1InputPlan,
+    insert_dffs,
+    plan_t1_inputs,
+    plan_t1_inputs_cp,
+    t1_input_cost,
+    t1_slot_cost,
+)
+from repro.core.flow import (
+    FlowConfig,
+    FlowResult,
+    run_baselines_and_t1,
+    run_flow,
+)
+from repro.core.phase_assignment import (
+    assign_stages,
+    assign_stages_heuristic,
+    assign_stages_ilp,
+    t1_lower_bound,
+)
+from repro.core.report import (
+    PAPER_AVERAGES,
+    PAPER_TABLE1,
+    Table,
+    TableRow,
+    fmt_thousands,
+)
+from repro.core.t1_detection import (
+    DetectionResult,
+    T1Candidate,
+    apply_candidates,
+    detect_and_replace,
+    find_candidates,
+    select_candidates,
+)
+from repro.core.t1_matching import (
+    OutputMatch,
+    T1_OUTPUTS,
+    is_t1_implementable,
+    match_t1_output,
+    polarities_matching,
+)
+
+__all__ = [
+    "DetectionResult",
+    "FlowConfig",
+    "FlowResult",
+    "InsertionReport",
+    "OutputMatch",
+    "PAPER_AVERAGES",
+    "PAPER_TABLE1",
+    "T1Candidate",
+    "T1InputPlan",
+    "T1_OUTPUTS",
+    "Table",
+    "TableRow",
+    "apply_candidates",
+    "assign_stages",
+    "assign_stages_heuristic",
+    "assign_stages_ilp",
+    "detect_and_replace",
+    "find_candidates",
+    "fmt_thousands",
+    "insert_dffs",
+    "is_t1_implementable",
+    "match_t1_output",
+    "plan_t1_inputs",
+    "plan_t1_inputs_cp",
+    "polarities_matching",
+    "run_baselines_and_t1",
+    "run_flow",
+    "select_candidates",
+    "t1_input_cost",
+    "t1_lower_bound",
+    "t1_slot_cost",
+]

@@ -1,0 +1,235 @@
+"""End-to-end T1-aware technology-mapping flow (§II + §III).
+
+``run_flow`` executes, on one logic network:
+
+1. library decomposition + structural cleanup;
+2. (optional) T1 detection and substitution          — §II-A;
+3. mapping onto an SFQ netlist;
+4. phase assignment (heuristic or exact ILP)         — §II-B;
+5. DFF insertion (path balancing + T1 staggering)    — §II-C;
+6. static timing checks, metrics, optional functional verification
+   (CEC of the substituted network + pulse-level streaming).
+
+The paper's baselines are the same flow with ``use_t1=False`` and
+``n_phases`` 1 (single-phase) or 4 (multiphase).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import EquivalenceError, ReproError
+from repro.metrics import NetlistMetrics, measure
+from repro.network.cleanup import strash
+from repro.network.equivalence import check_equivalence
+from repro.network.logic_network import LogicNetwork
+from repro.sfq.cell_library import CellLibrary, default_library
+from repro.sfq.mapping import decompose_to_library, map_to_sfq
+from repro.sfq.netlist import SFQNetlist
+from repro.sfq.timing import assert_timing
+from repro.core.dff_insertion import InsertionReport, insert_dffs
+from repro.core.phase_assignment import assign_stages
+from repro.core.t1_detection import DetectionResult, detect_and_replace
+
+
+@dataclass
+class FlowConfig:
+    """Knobs of the flow; defaults match the paper's T1 configuration."""
+
+    n_phases: int = 4
+    use_t1: bool = True
+    balance_pos: bool = True
+    share_chains: bool = True
+    free_pi_phases: bool = True
+    materialize_splitters: bool = False
+    balance_network: bool = False  # depth-rebalance associative trees first
+    phase_method: str = "heuristic"  # or "ilp"
+    sweeps: int = 4
+    cuts_per_node: int = 8
+    t1_min_outputs: int = 2
+    verify: str = "cec"  # "none" | "cec" | "full" (cec + pulse streaming)
+    library: Optional[CellLibrary] = None
+
+    def resolved_library(self) -> CellLibrary:
+        return self.library or default_library()
+
+    def __post_init__(self) -> None:
+        if self.use_t1 and self.n_phases < 3:
+            raise ReproError(
+                "T1 staggering needs n_phases >= 3 (three distinct arrival "
+                "slots inside one freshness window)"
+            )
+
+
+@dataclass
+class FlowResult:
+    """Everything the flow produced."""
+
+    name: str
+    config: FlowConfig
+    netlist: SFQNetlist
+    metrics: NetlistMetrics
+    logic_network: LogicNetwork  # the (possibly T1-substituted) network
+    t1_found: int = 0
+    t1_used: int = 0
+    insertion: Optional[InsertionReport] = None
+    runtime_s: float = 0.0
+    verified: Optional[bool] = None
+
+    @property
+    def num_dffs(self) -> int:
+        return self.metrics.num_dffs
+
+    @property
+    def area_jj(self) -> int:
+        return self.metrics.area_jj
+
+    @property
+    def depth_cycles(self) -> int:
+        return self.metrics.depth_cycles
+
+
+def run_flow(net: LogicNetwork, config: Optional[FlowConfig] = None) -> FlowResult:
+    """Run the full flow on *net*; returns a :class:`FlowResult`."""
+    config = config or FlowConfig()
+    library = config.resolved_library()
+    t0 = time.perf_counter()
+
+    # 1. normalise to the library and clean up
+    work = decompose_to_library(net, library)
+    work, _ = strash(work)
+    if config.balance_network:
+        from repro.network.balance import balance
+
+        work, _ = balance(work)
+        work, _ = strash(work)
+
+    # 2. T1 detection
+    found = used = 0
+    detection: Optional[DetectionResult] = None
+    if config.use_t1:
+        detection = detect_and_replace(
+            work,
+            library=library,
+            cuts_per_node=config.cuts_per_node,
+            min_outputs=config.t1_min_outputs,
+        )
+        if config.verify in ("cec", "full"):
+            res = check_equivalence(work, detection.network, complete=False)
+            if not res.equivalent:
+                raise EquivalenceError(
+                    "T1 substitution changed the function",
+                    res.counterexample,
+                )
+        work = detection.network
+        found, used = detection.found, detection.used
+
+    # 3. map
+    netlist, _sig = map_to_sfq(work, n_phases=config.n_phases, library=library)
+
+    # 4. phase assignment
+    if config.phase_method == "heuristic":
+        assign_stages(
+            netlist,
+            method="heuristic",
+            sweeps=config.sweeps,
+            include_po_balancing=config.balance_pos,
+            free_pi_phases=config.free_pi_phases,
+        )
+    else:
+        assign_stages(netlist, method=config.phase_method)
+
+    # 5. DFF insertion
+    insertion = insert_dffs(
+        netlist,
+        balance_pos=config.balance_pos,
+        share_chains=config.share_chains,
+    )
+
+    # 6. optional physical splitter trees, checks, metrics
+    if config.materialize_splitters:
+        from repro.sfq.splitters import materialize_splitters
+
+        materialize_splitters(netlist)
+    assert_timing(netlist)
+    metrics = measure(netlist, library)
+
+    verified: Optional[bool] = None
+    if config.verify == "full":
+        verified = _verify_streaming(net, netlist)
+    elif config.verify == "cec" and config.use_t1:
+        verified = True  # CEC already ran above
+
+    return FlowResult(
+        name=net.name,
+        config=config,
+        netlist=netlist,
+        metrics=metrics,
+        logic_network=work,
+        t1_found=found,
+        t1_used=used,
+        insertion=insertion,
+        runtime_s=time.perf_counter() - t0,
+        verified=verified,
+    )
+
+
+def _verify_streaming(
+    original: LogicNetwork, netlist: SFQNetlist, waves: int = 24, seed: int = 7
+) -> bool:
+    """Stream random waves through the mapped pipeline vs the logic model."""
+    import random
+
+    from repro.network.simulation import simulate_words
+    from repro.sfq.simulator import stream_compare
+
+    rng = random.Random(seed)
+    stimulus = [
+        [rng.randint(0, 1) for _ in original.pis] for _ in range(waves)
+    ]
+
+    def golden(row: Sequence[int]) -> List[int]:
+        return simulate_words(original, [list(row)])[0]
+
+    stream_compare(netlist, golden, stimulus)
+    return True
+
+
+def run_baselines_and_t1(
+    net: LogicNetwork,
+    n_phases: int = 4,
+    verify: str = "none",
+    sweeps: int = 4,
+    library: Optional[CellLibrary] = None,
+) -> Dict[str, FlowResult]:
+    """The paper's three columns: 1φ, nφ, and nφ + T1."""
+    out: Dict[str, FlowResult] = {}
+    out["1phi"] = run_flow(
+        net,
+        FlowConfig(
+            n_phases=1, use_t1=False, verify=verify, sweeps=sweeps, library=library
+        ),
+    )
+    out["nphi"] = run_flow(
+        net,
+        FlowConfig(
+            n_phases=n_phases,
+            use_t1=False,
+            verify=verify,
+            sweeps=sweeps,
+            library=library,
+        ),
+    )
+    out["t1"] = run_flow(
+        net,
+        FlowConfig(
+            n_phases=n_phases,
+            use_t1=True,
+            verify=verify,
+            sweeps=sweeps,
+            library=library,
+        ),
+    )
+    return out

@@ -1,0 +1,408 @@
+"""Phase assignment (§II-B of the paper): give every clocked cell a stage.
+
+Two engines over the same constraint system:
+
+* :func:`assign_stages_ilp` — the paper's ILP, encoded 1:1 on our MILP
+  solver (per-edge DFF counters ``k_e`` with ``n·k_e ≥ σ_v − σ_u``,
+  objective ``Σ (k_e − 1)``; the T1 constraint (eq. 3) is encoded with a
+  permutation of the offsets {1, 2, 3} over the three fanins).  Exact but
+  exponential in the worst case — used for small netlists and as the
+  reference in tests.
+* :func:`assign_stages_heuristic` — scalable coordinate descent that
+  optimises the *true* insertion cost (shared per-net chains + the exact
+  T1 staggering cost of eq. 4, via the same planner DFF insertion uses),
+  starting from an ASAP schedule.  This is what the flow runs on
+  paper-scale circuits.
+
+Constraints (both engines):
+
+* PIs are fixed at stage 0;
+* ordinary consumer:  σ(v) ≥ σ(u) + 1;
+* T1 consumer:        σ(T1) ≥ max(σ(i1)+3, σ(i2)+2, σ(i3)+1)   (eq. 3)
+  for its fanins sorted by stage.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SolverError, TimingError
+from repro.sfq.multiphase import edge_dffs
+from repro.sfq.netlist import CellKind, SFQNetlist, Signal
+
+INF = float("inf")
+
+
+# ---------------------------------------------------------------------------
+# shared structure extraction
+# ---------------------------------------------------------------------------
+
+class _Structure:
+    """Cached fanin/fanout structure of the clocked cells."""
+
+    def __init__(self, netlist: SFQNetlist):
+        self.netlist = netlist
+        self.n = netlist.n_phases
+        cells = netlist.cells
+        self.is_t1 = [c.kind is CellKind.T1 for c in cells]
+        self.clocked = [c.clocked for c in cells]
+        self.fanin_drivers: List[List[int]] = [
+            [sig[0] for sig in c.fanins] for c in cells
+        ]
+        self.fanin_signals: List[Tuple[Signal, ...]] = [c.fanins for c in cells]
+        # one net per driven signal (a T1 cell drives up to three nets)
+        self.nets: Dict[Signal, List[int]] = {}
+        # T1 cells fed by each driver cell
+        self.t1_consumers: List[Set[int]] = [set() for _ in cells]
+        for c in cells:
+            for sig in c.fanins:
+                if c.kind is CellKind.T1:
+                    self.t1_consumers[sig[0]].add(c.index)
+                else:
+                    self.nets.setdefault(sig, []).append(c.index)
+        # ordinary (non-T1) consumers per driver cell, by signal
+        self.signals_of_cell: List[List[Signal]] = [[] for _ in cells]
+        for sig in self.nets:
+            self.signals_of_cell[sig[0]].append(sig)
+        const_kinds = (CellKind.CONST0, CellKind.CONST1)
+        self.po_signals: Set[Signal] = {
+            sig
+            for sig, _name in netlist.pos
+            if cells[sig[0]].kind not in const_kinds
+        }
+        for sig in self.po_signals:
+            self.nets.setdefault(sig, [])
+            if sig not in self.signals_of_cell[sig[0]]:
+                self.signals_of_cell[sig[0]].append(sig)
+        # flat ordinary-consumer list per driver cell (for window bounds)
+        self.net_consumers: List[List[int]] = [[] for _ in cells]
+        for sig, cons in self.nets.items():
+            self.net_consumers[sig[0]].extend(cons)
+        self.order = netlist.topological_cells()
+
+
+def t1_lower_bound(fanin_stages: Sequence[int]) -> int:
+    """Eq. 3: σ(T1) ≥ max(σ(i1)+3, σ(i2)+2, σ(i3)+1), fanins sorted."""
+    s = sorted(fanin_stages)
+    return max(s[0] + 3, s[1] + 2, s[2] + 1)
+
+
+def asap_stages(structure: _Structure) -> List[Optional[int]]:
+    """Earliest feasible stage per cell (PIs at 0)."""
+    nl = structure.netlist
+    stages: List[Optional[int]] = [None] * len(nl.cells)
+    for idx in structure.order:
+        cell = nl.cells[idx]
+        if cell.kind is CellKind.PI:
+            stages[idx] = 0
+            continue
+        if not cell.clocked:
+            continue
+        fin = [stages[d] for d in structure.fanin_drivers[idx]]
+        if any(f is None for f in fin):
+            raise TimingError(f"cell {idx} depends on an unstaged cell")
+        if structure.is_t1[idx]:
+            stages[idx] = t1_lower_bound(fin)  # type: ignore[arg-type]
+        else:
+            stages[idx] = (max(fin) + 1) if fin else 1  # type: ignore[arg-type]
+    return stages
+
+
+# ---------------------------------------------------------------------------
+# true-cost evaluation (matches what DFF insertion will materialise)
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=200_000)
+def _t1_cost_cached(gaps: Tuple[int, int, int], n: int, head: int) -> float:
+    """Staggering cost keyed by (sorted gaps, n, clamped window head).
+
+    ``head`` is min(t1_stage, n): when the T1 sits closer than n stages to
+    stage 0 the freshness window is clipped, which changes feasibility.
+    """
+    from repro.core.dff_insertion import t1_input_cost
+
+    t1_stage = max(n, head) if head >= n else head
+    # reconstruct representative stages: t1 at `t1_stage`, fanins below it
+    fanins = [t1_stage - g for g in gaps]
+    if any(f < 0 for f in fanins):
+        return INF
+    return t1_input_cost(t1_stage, fanins, n)
+
+
+def t1_stagger_cost(t1_stage: int, fanin_stages: Sequence[int], n: int) -> float:
+    gaps = tuple(sorted(t1_stage - s for s in fanin_stages))
+    if any(g < 1 for g in gaps):
+        return INF
+    return _t1_cost_cached(gaps, n, min(t1_stage, n))
+
+
+def _net_cost(
+    driver_stage: int,
+    consumer_stages: Sequence[int],
+    n: int,
+    po_boundary: Optional[int],
+) -> float:
+    """Shared-chain DFFs of one net (ordinary consumers + PO boundary)."""
+    worst = 0
+    for cs in consumer_stages:
+        gap = cs - driver_stage
+        if gap < 1:
+            return INF
+        worst = max(worst, edge_dffs(gap, n))
+    if po_boundary is not None:
+        gap = po_boundary - driver_stage
+        if gap >= 1:
+            worst = max(worst, edge_dffs(gap, n))
+    return float(worst)
+
+
+# ---------------------------------------------------------------------------
+# heuristic: coordinate descent on the true cost
+# ---------------------------------------------------------------------------
+
+def assign_stages_heuristic(
+    netlist: SFQNetlist,
+    sweeps: int = 4,
+    include_po_balancing: bool = True,
+    max_candidates: int = 160,
+    free_pi_phases: bool = True,
+) -> None:
+    """ASAP + iterative per-cell improvement; sets ``cell.stage`` in place.
+
+    ``free_pi_phases`` lets a primary input arrive at any phase of epoch 0
+    (stage 0..n−1) instead of pinning it to phase 0 — the environment can
+    deliver each input pulse on whichever clock phase suits the schedule,
+    which is what makes T1 staggering "free" for input-fed cells.
+    """
+    st = _Structure(netlist)
+    n = st.n
+    stages = asap_stages(st)
+    nl = netlist.cells
+
+    def po_boundary() -> Optional[int]:
+        if not include_po_balancing:
+            return None
+        mx = max(
+            (stages[i] for i in range(len(nl)) if st.clocked[i] and stages[i] is not None),
+            default=0,
+        )
+        return mx + 1
+
+    def local_cost(x: int, boundary: Optional[int]) -> float:
+        """Cost of every net/T1 term affected by cell x's stage."""
+        total = 0.0
+        affected_signals: Set[Signal] = set(st.signals_of_cell[x])
+        affected_signals.update(st.fanin_signals[x])
+        affected_t1: Set[int] = set(st.t1_consumers[x])
+        if st.is_t1[x]:
+            affected_t1.add(x)
+        for sig in affected_signals:
+            cons = st.nets.get(sig)
+            if cons is None:
+                continue  # signal feeds only T1 cells
+            d = sig[0]
+            cons_stages = [stages[c] for c in cons]
+            b = boundary if sig in st.po_signals else None
+            cost = _net_cost(stages[d], cons_stages, n, b)  # type: ignore[arg-type]
+            if cost == INF:
+                return INF
+            total += cost
+        for t in affected_t1:
+            fins = [stages[d] for d in st.fanin_drivers[t]]
+            cost = t1_stagger_cost(stages[t], fins, n)  # type: ignore[arg-type]
+            if cost == INF:
+                return INF
+            total += cost
+        return total
+
+    for _sweep in range(sweeps):
+        boundary = po_boundary()
+        improved = False
+        # alternate direction each sweep
+        order = st.order if _sweep % 2 == 0 else list(reversed(st.order))
+        for x in order:
+            is_pi = netlist.cells[x].kind is CellKind.PI
+            if not st.clocked[x] and not (is_pi and free_pi_phases):
+                continue
+            # feasible window
+            if is_pi:
+                lb = 0
+            else:
+                fins = [stages[d] for d in st.fanin_drivers[x]]
+                if st.is_t1[x]:
+                    lb = t1_lower_bound(fins)  # type: ignore[arg-type]
+                else:
+                    lb = (max(fins) + 1) if fins else 1  # type: ignore[arg-type]
+            ubs = [stages[c] - 1 for c in st.net_consumers[x]]
+            ubs += [stages[t] - 1 for t in st.t1_consumers[x]]
+            ub = min(ubs) if ubs else (boundary if boundary is not None else lb)
+            if is_pi:
+                ub = min(ub, n - 1)
+            if ub < lb:
+                continue
+            # candidate stages: window ends, fine offsets near the current
+            # position (T1 staggering moves in ±1 steps), and the
+            # ceil-breakpoints of all incident edges
+            cands: Set[int] = {lb, ub, stages[x]}  # type: ignore[arg-type]
+            for delta in (-2, -1, 1, 2):
+                for base in (stages[x], lb, ub):
+                    s = base + delta
+                    if lb <= s <= ub:
+                        cands.add(s)
+            if is_pi:
+                cands.update(range(lb, ub + 1))
+            for d in st.fanin_drivers[x]:
+                base = stages[d]
+                k = 0
+                while True:
+                    s = base + k * n + 1
+                    if s > ub:
+                        break
+                    if s >= lb:
+                        cands.add(s)
+                        if s + n - 1 <= ub:
+                            cands.add(s + n - 1)
+                    k += 1
+                    if len(cands) > max_candidates:
+                        break
+            for c in list(st.net_consumers[x]) + list(st.t1_consumers[x]):
+                base = stages[c]
+                k = 1
+                while True:
+                    s = base - k * n
+                    if s < lb:
+                        break
+                    if s <= ub:
+                        cands.add(s)
+                    k += 1
+                    if len(cands) > max_candidates:
+                        break
+            current = stages[x]
+            best_stage = current
+            best_cost = local_cost(x, boundary)
+            for cand in sorted(cands):
+                if cand == current:
+                    continue
+                stages[x] = cand
+                cost = local_cost(x, boundary)
+                if cost < best_cost - 1e-9:
+                    best_cost = cost
+                    best_stage = cand
+            stages[x] = best_stage
+            if best_stage != current:
+                improved = True
+        if not improved:
+            break
+
+    for cell in netlist.cells:
+        if cell.clocked or cell.kind is CellKind.PI:
+            cell.stage = stages[cell.index]
+
+
+# ---------------------------------------------------------------------------
+# exact ILP (the paper's formulation)
+# ---------------------------------------------------------------------------
+
+def assign_stages_ilp(
+    netlist: SFQNetlist,
+    horizon: Optional[int] = None,
+    node_limit: int = 50_000,
+) -> None:
+    """Exact phase assignment on the MILP solver; small netlists only.
+
+    Objective: per-edge DFF proxy Σ(k_e − 1) with n·k_e ≥ σ_v − σ_u — the
+    formulation of ref. [10] extended with the T1 offset permutation of
+    eq. 3.  Sets ``cell.stage`` in place.
+    """
+    from repro.solvers import MilpModel
+
+    st = _Structure(netlist)
+    n = st.n
+    asap = asap_stages(st)
+    max_asap = max(
+        (s for i, s in enumerate(asap) if st.clocked[i] and s is not None),
+        default=0,
+    )
+    if horizon is None:
+        horizon = max_asap + 2 * n
+    model = MilpModel()
+    sigma: Dict[int, object] = {}
+    for cell in netlist.cells:
+        if cell.clocked:
+            sigma[cell.index] = model.add_var(
+                1, horizon, name=f"sigma{cell.index}"
+            )
+
+    def stage_term(idx: int):
+        """(coeff dict contribution, constant) for a driver stage."""
+        if netlist.cells[idx].kind is CellKind.PI:
+            return None, 0  # PIs pinned at 0
+        return sigma[idx], None
+
+    k_vars = []
+    for cell in netlist.cells:
+        if not cell.clocked:
+            continue
+        v = cell.index
+        if st.is_t1[v]:
+            # offset permutation z[i][o]: fanin i gets offset o in {1,2,3}
+            zs = [
+                [model.add_var(0, 1, name=f"z{v}_{i}_{o}") for o in (1, 2, 3)]
+                for i in range(3)
+            ]
+            for i in range(3):
+                model.add_constraint(
+                    {zs[i][0]: 1, zs[i][1]: 1, zs[i][2]: 1}, "==", 1
+                )
+            for o in range(3):
+                model.add_constraint(
+                    {zs[0][o]: 1, zs[1][o]: 1, zs[2][o]: 1}, "==", 1
+                )
+            for i, d in enumerate(st.fanin_drivers[v]):
+                coeffs = {sigma[v]: 1}
+                const = 0
+                if netlist.cells[d].kind is CellKind.PI:
+                    pass  # sigma_d == 0
+                else:
+                    coeffs[sigma[d]] = -1
+                # sigma_v - sigma_d >= 1*z1 + 2*z2 + 3*z3
+                coeffs[zs[i][0]] = coeffs.get(zs[i][0], 0) - 1
+                coeffs[zs[i][1]] = coeffs.get(zs[i][1], 0) - 2
+                coeffs[zs[i][2]] = coeffs.get(zs[i][2], 0) - 3
+                model.add_constraint(coeffs, ">=", const)
+        # per-edge DFF counters for every fanin edge
+        for d in st.fanin_drivers[v]:
+            k = model.add_var(1, horizon, name=f"k_{d}_{v}")
+            k_vars.append(k)
+            coeffs = {k: n, sigma[v]: -1}
+            if netlist.cells[d].kind is not CellKind.PI:
+                coeffs[sigma[d]] = 1
+            model.add_constraint(coeffs, ">=", 0)
+            # plain precedence for non-T1 consumers
+            if not st.is_t1[v]:
+                pc = {sigma[v]: 1}
+                if netlist.cells[d].kind is not CellKind.PI:
+                    pc[sigma[d]] = -1
+                model.add_constraint(pc, ">=", 1)
+
+    model.minimize({k: 1 for k in k_vars})
+    sol = model.solve(node_limit=node_limit)
+    for cell in netlist.cells:
+        if cell.clocked:
+            cell.stage = sol.int_value(sigma[cell.index])
+
+
+def assign_stages(
+    netlist: SFQNetlist,
+    method: str = "heuristic",
+    **kwargs,
+) -> None:
+    """Dispatch on *method* ("heuristic" or "ilp")."""
+    if method == "heuristic":
+        assign_stages_heuristic(netlist, **kwargs)
+    elif method == "ilp":
+        assign_stages_ilp(netlist, **kwargs)
+    else:
+        raise SolverError(f"unknown phase-assignment method {method!r}")

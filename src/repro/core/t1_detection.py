@@ -1,0 +1,259 @@
+"""T1-FF detection and substitution (§II-A of the paper).
+
+Pipeline:
+
+1. enumerate 3-feasible priority cuts (ref. [8]);
+2. group cuts by their leaf triple; inside a group, Boolean-match every
+   node's cut function against the five T1 outputs for each of the eight
+   shared input polarities;
+3. for each group pick the polarity with the best area gain
+
+       ΔA = Σ A(MFFC(u_i))  −  A_T1(C)            (eq. 2)
+
+   where the MFFC union is computed jointly (no double counting of shared
+   cone nodes) with the leaves as boundary, and A_T1 adds a clocked
+   inverter per negated input;
+4. greedy conflict resolution by descending ΔA: a group is *used* when
+   its cone is disjoint from every previously applied cone and its leaves
+   are still alive — this yields the paper's "found" vs "used" columns;
+5. substitution: a T1 block (cell + taps, negated taps for C*/Q*) replaces
+   the matched nodes; dead cones are swept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.network.cuts import CutDatabase, enumerate_cuts
+from repro.network.gates import Gate, is_t1_tap
+from repro.network.logic_network import LogicNetwork
+from repro.network.mffc import MffcComputer
+from repro.network.cleanup import sweep
+from repro.network.traversal import topological_order
+from repro.sfq.cell_library import CellLibrary, default_library
+from repro.core.t1_matching import OutputMatch, match_t1_output, polarity_bits
+
+
+@dataclass
+class T1Candidate:
+    """One replaceable group: a leaf triple plus matched nodes."""
+
+    leaves: Tuple[int, int, int]
+    polarity: int
+    matches: Tuple[Tuple[int, OutputMatch], ...]  # (node, match)
+    cone: Set[int]
+    gain: int
+
+    @property
+    def roots(self) -> Tuple[int, ...]:
+        return tuple(node for node, _m in self.matches)
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of a detection pass."""
+
+    network: LogicNetwork
+    found: int
+    used: int
+    candidates: List[T1Candidate] = field(default_factory=list)
+    applied: List[T1Candidate] = field(default_factory=list)
+
+
+def node_area(net: LogicNetwork, node: int, library: CellLibrary) -> int:
+    """Library area of one logic node (0 for PIs, constants, taps, BUFs).
+
+    Gates wider than any library cell (possible when detection runs on an
+    undecomposed network) are costed as the balanced tree the mapper would
+    build: one widest cell per (max_arity − 1) inputs absorbed.
+    """
+    g = net.gates[node]
+    if g in (Gate.CONST0, Gate.CONST1, Gate.PI, Gate.BUF):
+        return 0
+    if g is Gate.T1_CELL:
+        return library.t1.jj_count
+    if is_t1_tap(g):
+        return 0
+    arity = len(net.fanins[node])
+    if library.has_cell(g, arity):
+        return library.gate_area(g, arity)
+    import math
+
+    base = {Gate.NAND: Gate.AND, Gate.NOR: Gate.OR, Gate.XNOR: Gate.XOR}.get(g, g)
+    widest = library.max_arity(base)
+    cells = math.ceil((arity - 1) / (widest - 1))
+    est = cells * library.gate_area(base, widest)
+    if g is not base:
+        est += library.gate_area(Gate.NOT, 1)
+    return est
+
+
+def _t1_area(polarity: int, matches: Sequence[Tuple[int, OutputMatch]],
+             library: CellLibrary) -> int:
+    """A_T1(C): cell + input inverters + output inverters (eq. 2)."""
+    area = library.t1.jj_count
+    not_area = library.gate_area(Gate.NOT, 1)
+    area += sum(polarity_bits(polarity)) * not_area
+    area += sum(1 for _n, m in matches if m.negated) * not_area
+    return area
+
+
+def find_candidates(
+    net: LogicNetwork,
+    library: Optional[CellLibrary] = None,
+    cuts_per_node: int = 8,
+    min_outputs: int = 2,
+    max_outputs: int = 5,
+    cut_db: Optional[CutDatabase] = None,
+) -> List[T1Candidate]:
+    """All positive-gain candidate groups (the paper's "found" set)."""
+    library = library or default_library()
+    if cut_db is None:
+        cut_db = enumerate_cuts(net, k=3, cuts_per_node=cuts_per_node)
+
+    # group (node, table) by leaf triple
+    groups: Dict[Tuple[int, int, int], List[Tuple[int, int]]] = {}
+    for node in net.nodes():
+        if not net.is_logic(node):
+            continue
+        g = net.gates[node]
+        if g is Gate.T1_CELL or is_t1_tap(g):
+            continue
+        for cut in cut_db[node]:
+            if len(cut.leaves) != 3 or node in cut.leaves:
+                continue
+            groups.setdefault(tuple(cut.leaves), []).append(
+                (node, cut.table.bits)
+            )
+
+    mffc = MffcComputer(net)
+    candidates: List[T1Candidate] = []
+    for leaves, members in groups.items():
+        # dedupe nodes (a node may reach the same leaves through two cuts)
+        seen_nodes: Set[int] = set()
+        uniq: List[Tuple[int, int]] = []
+        for node, bits in members:
+            if node not in seen_nodes:
+                seen_nodes.add(node)
+                uniq.append((node, bits))
+        best: Optional[T1Candidate] = None
+        for polarity in range(8):
+            matched: List[Tuple[int, OutputMatch]] = []
+            used_ports: Set[Tuple[str, bool]] = set()
+            for node, bits in uniq:
+                from repro.network.truth_table import TruthTable
+
+                m = match_t1_output(TruthTable(bits, 3), polarity)
+                if m is not None:
+                    matched.append((node, m))
+                    used_ports.add((m.port, m.negated))
+            if len(matched) < min_outputs:
+                continue
+            if len(matched) > max_outputs:
+                # keep the most valuable roots (largest individual MFFC)
+                matched.sort(
+                    key=lambda nm: -sum(
+                        node_area(net, x, library) for x in mffc.mffc(nm[0], leaves)
+                    )
+                )
+                matched = matched[:max_outputs]
+            roots = [n for n, _m in matched]
+            cone = mffc.mffc_union(roots, boundary=leaves)
+            saved = sum(node_area(net, x, library) for x in cone)
+            cost = _t1_area(polarity, matched, library)
+            gain = saved - cost
+            if gain <= 0:
+                continue
+            cand = T1Candidate(
+                leaves=leaves,
+                polarity=polarity,
+                matches=tuple(matched),
+                cone=cone,
+                gain=gain,
+            )
+            if best is None or cand.gain > best.gain:
+                best = cand
+        if best is not None:
+            candidates.append(best)
+    candidates.sort(key=lambda c: (-c.gain, c.leaves))
+    return candidates
+
+
+def select_candidates(candidates: Sequence[T1Candidate]) -> List[T1Candidate]:
+    """Greedy conflict resolution (the paper's "used" set).
+
+    A candidate is applied when (a) no node of its cone was claimed by an
+    earlier (higher-gain) candidate and (b) none of its leaves is an
+    *interior* node of an earlier cone (roots are fine — they get taps).
+    """
+    claimed: Set[int] = set()
+    removed_interior: Set[int] = set()
+    out: List[T1Candidate] = []
+    for cand in candidates:
+        if cand.cone & claimed:
+            continue
+        if any(leaf in removed_interior for leaf in cand.leaves):
+            continue
+        out.append(cand)
+        claimed |= cand.cone
+        roots = set(cand.roots)
+        removed_interior |= cand.cone - roots
+    return out
+
+
+def apply_candidates(
+    net: LogicNetwork, selected: Sequence[T1Candidate]
+) -> Tuple[LogicNetwork, Dict[int, int]]:
+    """Substitute every selected group by a T1 block and sweep.
+
+    Returns ``(new_network, old_to_new_node_map)``.
+    """
+    work = net.clone()
+    # a root replaced by an earlier group may serve as a leaf of a later
+    # one; route such leaves to the live tap instead of the dead node
+    repl: Dict[int, int] = {}
+
+    def resolve(node: int) -> int:
+        while node in repl:
+            node = repl[node]
+        return node
+
+    for cand in selected:
+        a, b, c = (resolve(leaf) for leaf in cand.leaves)
+        na, nb, nc = polarity_bits(cand.polarity)
+        ia = work.add_not(a) if na else a
+        ib = work.add_not(b) if nb else b
+        ic = work.add_not(c) if nc else c
+        cell = work.add_t1_cell(ia, ib, ic)
+        taps: Dict[Gate, int] = {}
+        for node, match in cand.matches:
+            tap = taps.get(match.tap_gate)
+            if tap is None:
+                tap = work.add_t1_tap(cell, match.tap_gate)
+                taps[match.tap_gate] = tap
+            work.substitute(node, tap)
+            repl[node] = tap
+    return sweep(work)
+
+
+def detect_and_replace(
+    net: LogicNetwork,
+    library: Optional[CellLibrary] = None,
+    cuts_per_node: int = 8,
+    min_outputs: int = 2,
+) -> DetectionResult:
+    """Full §II-A pass: find, select, substitute."""
+    library = library or default_library()
+    candidates = find_candidates(
+        net, library=library, cuts_per_node=cuts_per_node, min_outputs=min_outputs
+    )
+    selected = select_candidates(candidates)
+    new_net, _mapping = apply_candidates(net, selected)
+    return DetectionResult(
+        network=new_net,
+        found=len(candidates),
+        used=len(selected),
+        candidates=list(candidates),
+        applied=selected,
+    )

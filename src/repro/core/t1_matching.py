@@ -1,0 +1,104 @@
+"""Boolean matching against the T1 cell's output functions (§II-A).
+
+The extended T1 cell offers up to five synchronous outputs over its input
+triple (a, b, c):
+
+========= ================= =========================
+port       function          realisation
+========= ================= =========================
+S          XOR3              readout by the clock (R)
+C          MAJ3              carry port
+C* + NOT   NOT MAJ3          raw carry + clocked inverter
+Q          OR3               or port
+Q* + NOT   NOT OR3           raw or + clocked inverter
+========= ================= =========================
+
+The cell's inputs may additionally be negated by inserting clocked
+inverters in front of the T input (a shared *input polarity* for all
+outputs of the cell).  Note the paper's asymmetry: S cannot be inverted
+at the cell (no raw S* port) — but ¬XOR3 under polarity p equals XOR3
+under a polarity differing in one bit, so no expressiveness is lost
+across the polarity search.
+
+A *match* of a candidate node is therefore (input polarity p, output
+port, output negation) such that the node's cut function equals the port
+function composed with p.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.gates import Gate
+from repro.network.truth_table import TruthTable, maj3_tt, or3_tt, xor3_tt
+
+#: output descriptors: (port name, negated?, tap gate used at replacement)
+T1_OUTPUTS: Tuple[Tuple[str, bool, Gate], ...] = (
+    ("S", False, Gate.T1_S),
+    ("C", False, Gate.T1_C),
+    ("C", True, Gate.T1_CN),
+    ("Q", False, Gate.T1_Q),
+    ("Q", True, Gate.T1_QN),
+)
+
+
+@dataclass(frozen=True)
+class OutputMatch:
+    """How one candidate function maps onto a T1 output."""
+
+    port: str  # "S", "C" or "Q"
+    negated: bool
+    tap_gate: Gate
+
+
+@lru_cache(maxsize=None)
+def _tables_for_polarity(polarity: int) -> Dict[int, OutputMatch]:
+    """tt bits -> output match, for a fixed input polarity.
+
+    When two descriptors would produce the same table (cannot happen for
+    the five T1 outputs, which are pairwise distinct functions), the first
+    in `T1_OUTPUTS` order would win.
+    """
+    base = {
+        "S": xor3_tt(),
+        "C": maj3_tt(),
+        "Q": or3_tt(),
+    }
+    out: Dict[int, OutputMatch] = {}
+    for port, negated, tap in T1_OUTPUTS:
+        tt = base[port].negate_vars(polarity)
+        if negated:
+            tt = ~tt
+        out.setdefault(tt.bits, OutputMatch(port, negated, tap))
+    return out
+
+
+def match_t1_output(
+    table: TruthTable, polarity: int
+) -> Optional[OutputMatch]:
+    """Match one 3-input function against the T1 outputs under *polarity*."""
+    if table.num_vars != 3:
+        return None
+    return _tables_for_polarity(polarity).get(table.bits)
+
+
+def polarities_matching(table: TruthTable) -> List[Tuple[int, OutputMatch]]:
+    """All (polarity, match) pairs under which *table* is T1-implementable."""
+    out = []
+    for polarity in range(8):
+        m = match_t1_output(table, polarity)
+        if m is not None:
+            out.append((polarity, m))
+    return out
+
+
+def is_t1_implementable(table: TruthTable) -> bool:
+    """True if the function is some T1 output under some input polarity."""
+    return bool(polarities_matching(table))
+
+
+def polarity_bits(polarity: int) -> Tuple[bool, bool, bool]:
+    """Which of the three inputs are negated under *polarity*."""
+    return bool(polarity & 1), bool(polarity & 2), bool(polarity & 4)

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class.  Subclasses are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class NetworkError(ReproError):
+    """Malformed or inconsistently used logic network."""
+
+
+class GateArityError(NetworkError):
+    """A gate was created with an unsupported number of fanins."""
+
+
+class CycleError(NetworkError):
+    """The network contains a combinational cycle."""
+
+
+class SimulationError(ReproError):
+    """Invalid simulation request (wrong vector width, unknown node...)."""
+
+
+class TruthTableError(ReproError):
+    """Invalid truth-table construction or operation."""
+
+
+class ParseError(ReproError):
+    """A netlist file could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SolverError(ReproError):
+    """Base class for optimisation-solver errors."""
+
+
+class InfeasibleError(SolverError):
+    """The model has no feasible solution."""
+
+
+class UnboundedError(SolverError):
+    """The LP relaxation is unbounded."""
+
+
+class SolverLimitError(SolverError):
+    """A solver hit its node/conflict/iteration limit before finishing."""
+
+
+class MappingError(ReproError):
+    """Technology mapping failed (unsupported gate, missing cell...)."""
+
+
+class TimingError(ReproError):
+    """A multiphase timing rule is violated (stage gaps, freshness...)."""
+
+
+class HazardError(TimingError):
+    """The pulse-level simulator detected a data hazard.
+
+    Raised when two pulses overlap on one input within a clock window or a
+    cell consumes a pulse belonging to the wrong wave.
+    """
+
+
+class EquivalenceError(ReproError):
+    """Two networks that must be equivalent are not (includes witness)."""
+
+    def __init__(self, message: str, counterexample: dict | None = None):
+        self.counterexample = counterexample
+        super().__init__(message)

@@ -1,0 +1,35 @@
+"""Netlist I/O: BLIF, ISCAS .bench, Graphviz DOT."""
+
+from repro.io.bench import dumps_bench, loads_bench, read_bench, write_bench
+from repro.io.blif import dumps_blif, loads_blif, read_blif, write_blif
+from repro.io.dot import (
+    dumps_netlist_dot,
+    dumps_network_dot,
+    netlist_to_dot,
+    network_to_dot,
+)
+from repro.io.verilog import (
+    dumps_sfq_verilog,
+    dumps_verilog,
+    write_sfq_verilog,
+    write_verilog,
+)
+
+__all__ = [
+    "dumps_bench",
+    "dumps_blif",
+    "dumps_netlist_dot",
+    "dumps_network_dot",
+    "dumps_sfq_verilog",
+    "dumps_verilog",
+    "write_sfq_verilog",
+    "write_verilog",
+    "loads_bench",
+    "loads_blif",
+    "netlist_to_dot",
+    "network_to_dot",
+    "read_bench",
+    "read_blif",
+    "write_bench",
+    "write_blif",
+]

@@ -1,0 +1,186 @@
+"""ISCAS ``.bench`` format reader / writer.
+
+The format of the ISCAS-85/89 benchmark distributions::
+
+    INPUT(a)
+    OUTPUT(y)
+    y = AND(a, b)
+
+Combinational subset only (no DFF on read).  T1 blocks are expanded
+functionally on write, like the BLIF writer.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, TextIO, Tuple
+
+from repro.errors import ParseError
+from repro.network.gates import Gate, is_t1_tap
+from repro.network.logic_network import CONST0, CONST1, LogicNetwork
+from repro.network.traversal import topological_order
+
+_GATE_BY_NAME = {
+    "AND": Gate.AND,
+    "NAND": Gate.NAND,
+    "OR": Gate.OR,
+    "NOR": Gate.NOR,
+    "XOR": Gate.XOR,
+    "XNOR": Gate.XNOR,
+    "NOT": Gate.NOT,
+    "BUF": Gate.BUF,
+    "BUFF": Gate.BUF,
+    "MAJ": Gate.MAJ3,
+    "MAJ3": Gate.MAJ3,
+}
+
+_NAME_BY_GATE = {
+    Gate.AND: "AND",
+    Gate.NAND: "NAND",
+    Gate.OR: "OR",
+    Gate.NOR: "NOR",
+    Gate.XOR: "XOR",
+    Gate.XNOR: "XNOR",
+    Gate.NOT: "NOT",
+    Gate.BUF: "BUFF",
+    Gate.MAJ3: "MAJ3",
+}
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<out>[\w.\[\]]+)\s*=\s*(?P<op>\w+)\s*\((?P<ins>[^)]*)\)\s*$"
+)
+
+
+def write_bench(net: LogicNetwork, fh: TextIO) -> None:
+    """Write the network in ISCAS .bench syntax (T1 expanded)."""
+
+    def name_of(node: int) -> str:
+        n = net.get_name(node)
+        if n and node in net.pis:
+            return n
+        if node == CONST0:
+            return "GND"
+        if node == CONST1:
+            return "VDD"
+        return f"n{node}"
+
+    fh.write(f"# {net.name}\n")
+    for pi in net.pis:
+        fh.write(f"INPUT({name_of(pi)})\n")
+    po_names = [n or f"po{i}" for i, n in enumerate(net.po_names)]
+    for name in po_names:
+        fh.write(f"OUTPUT({name})\n")
+
+    used = set()
+    for node in net.nodes():
+        used.update(net.fanins[node])
+    used.update(net.pos)
+    if CONST0 in used or CONST1 in used:
+        raise ParseError(
+            "networks with constant references cannot be written to .bench; "
+            "run strash() first"
+        )
+
+    for node in topological_order(net):
+        g = net.gates[node]
+        if g in (Gate.PI, Gate.CONST0, Gate.CONST1, Gate.T1_CELL):
+            continue
+        out = name_of(node)
+        if is_t1_tap(g):
+            cell = net.fanins[node][0]
+            a, b, c = (name_of(f) for f in net.fanins[cell])
+            if g is Gate.T1_S:
+                fh.write(f"{out} = XOR({a}, {b}, {c})\n")
+            elif g is Gate.T1_C:
+                fh.write(f"{out} = MAJ3({a}, {b}, {c})\n")
+            elif g is Gate.T1_CN:
+                fh.write(f"{out}_m = MAJ3({a}, {b}, {c})\n")
+                fh.write(f"{out} = NOT({out}_m)\n")
+            elif g is Gate.T1_Q:
+                fh.write(f"{out} = OR({a}, {b}, {c})\n")
+            else:
+                fh.write(f"{out} = NOR({a}, {b}, {c})\n")
+            continue
+        ins = ", ".join(name_of(f) for f in net.fanins[node])
+        fh.write(f"{out} = {_NAME_BY_GATE[g]}({ins})\n")
+    for po, name in zip(net.pos, po_names):
+        fh.write(f"{name} = BUFF({name_of(po)})\n")
+
+
+def dumps_bench(net: LogicNetwork) -> str:
+    """:func:`write_bench` into a string."""
+    import io
+
+    buf = io.StringIO()
+    write_bench(net, buf)
+    return buf.getvalue()
+
+
+def read_bench(fh: TextIO) -> LogicNetwork:
+    """Parse a combinational .bench file."""
+    net = LogicNetwork("bench")
+    signals: Dict[str, int] = {}
+    pending: List[Tuple[int, str, Gate, List[str]]] = []
+    outputs: List[str] = []
+
+    for lineno, raw in enumerate(fh, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        upper = line.upper()
+        if upper.startswith("INPUT(") and line.endswith(")"):
+            name = line[line.index("(") + 1 : -1].strip()
+            signals[name] = net.add_pi(name)
+            continue
+        if upper.startswith("OUTPUT(") and line.endswith(")"):
+            outputs.append(line[line.index("(") + 1 : -1].strip())
+            continue
+        m = _LINE_RE.match(line)
+        if not m:
+            raise ParseError(f"cannot parse line {line!r}", lineno)
+        op = m.group("op").upper()
+        if op == "DFF":
+            raise ParseError("sequential .bench not supported", lineno)
+        gate = _GATE_BY_NAME.get(op)
+        if gate is None:
+            raise ParseError(f"unknown gate {op!r}", lineno)
+        ins = [t.strip() for t in m.group("ins").split(",") if t.strip()]
+        pending.append((lineno, m.group("out"), gate, ins))
+
+    # resolve in dependency order
+    remaining = pending
+    progress = True
+    while remaining and progress:
+        progress = False
+        still = []
+        for lineno, out, gate, ins in remaining:
+            if all(i in signals for i in ins):
+                fins = [signals[i] for i in ins]
+                if gate is Gate.BUF:
+                    signals[out] = net.add_buf(fins[0])
+                elif gate is Gate.NOT:
+                    signals[out] = net.add_not(fins[0])
+                else:
+                    signals[out] = net.add_gate(gate, fins)
+                progress = True
+            else:
+                still.append((lineno, out, gate, ins))
+        remaining = still
+    if remaining:
+        missing = sorted(
+            {i for _l, _o, _g, ins in remaining for i in ins if i not in signals}
+        )
+        raise ParseError(f"undefined signals or loop: {missing[:5]}")
+
+    for name in outputs:
+        if name not in signals:
+            raise ParseError(f"undefined output {name!r}")
+        net.add_po(signals[name], name)
+    return net
+
+
+def loads_bench(text: str) -> LogicNetwork:
+    """:func:`read_bench` from a string."""
+    import io
+
+    return read_bench(io.StringIO(text))

@@ -1,0 +1,94 @@
+"""Graphviz DOT export for logic networks and staged SFQ netlists."""
+
+from __future__ import annotations
+
+from typing import Optional, TextIO
+
+from repro.network.gates import GATE_SYMBOLS, Gate, is_t1_tap
+from repro.network.logic_network import LogicNetwork
+from repro.network.traversal import live_nodes
+from repro.sfq.netlist import CellKind, SFQNetlist
+
+_KIND_STYLE = {
+    CellKind.PI: ('shape=invtriangle, style=filled, fillcolor="#cde7ff"'),
+    CellKind.GATE: ('shape=box, style=rounded'),
+    CellKind.T1: ('shape=box3d, style=filled, fillcolor="#ffe2b3"'),
+    CellKind.DFF: ('shape=square, style=filled, fillcolor="#e4e4e4"'),
+    CellKind.CONST0: ("shape=plaintext"),
+    CellKind.CONST1: ("shape=plaintext"),
+    CellKind.SPLITTER: ('shape=point, width=0.12'),
+}
+
+
+def network_to_dot(net: LogicNetwork, fh: TextIO) -> None:
+    """Write a logic network as a DOT digraph (dead nodes omitted)."""
+    live = live_nodes(net)
+    fh.write(f'digraph "{net.name}" {{\n  rankdir=LR;\n')
+    for node in sorted(live):
+        g = net.gates[node]
+        if g in (Gate.CONST0, Gate.CONST1) and not any(
+            node in net.fanins[u] for u in live
+        ):
+            continue
+        label = GATE_SYMBOLS.get(g, g.name)
+        name = net.get_name(node)
+        if name:
+            label = f"{name}\\n{label}"
+        shape = "invtriangle" if g is Gate.PI else "box"
+        if g is Gate.T1_CELL:
+            shape = "box3d"
+        fh.write(f'  n{node} [label="{label}", shape={shape}];\n')
+    for node in sorted(live):
+        for f in net.fanins[node]:
+            fh.write(f"  n{f} -> n{node};\n")
+    for i, po in enumerate(net.pos):
+        po_name = net.po_names[i] or f"po{i}"
+        fh.write(
+            f'  o{i} [label="{po_name}", shape=triangle];\n  n{po} -> o{i};\n'
+        )
+    fh.write("}\n")
+
+
+def netlist_to_dot(netlist: SFQNetlist, fh: TextIO) -> None:
+    """Write a staged SFQ netlist; clocked cells are ranked by stage."""
+    fh.write(f'digraph "{netlist.name}" {{\n  rankdir=LR;\n')
+    by_stage = {}
+    for cell in netlist.cells:
+        label = cell.kind.name
+        if cell.kind is CellKind.GATE and cell.op is not None:
+            label = cell.op.name
+        if cell.stage is not None:
+            label += f"\\nσ={cell.stage}"
+            by_stage.setdefault(cell.stage, []).append(cell.index)
+        style = _KIND_STYLE[cell.kind]
+        fh.write(f'  c{cell.index} [label="{label}", {style}];\n')
+    for cell in netlist.cells:
+        for sig in cell.fanins:
+            fh.write(f'  c{sig[0]} -> c{cell.index} [label="{sig[1]}"];\n')
+    for i, (sig, name) in enumerate(netlist.pos):
+        fh.write(
+            f'  p{i} [label="{name or f"po{i}"}", shape=triangle];\n'
+            f"  c{sig[0]} -> p{i};\n"
+        )
+    for stage, cells in sorted(by_stage.items()):
+        members = "; ".join(f"c{c}" for c in cells)
+        fh.write(f"  {{ rank=same; {members}; }}\n")
+    fh.write("}\n")
+
+
+def dumps_network_dot(net: LogicNetwork) -> str:
+    """:func:`network_to_dot` into a string."""
+    import io
+
+    buf = io.StringIO()
+    network_to_dot(net, buf)
+    return buf.getvalue()
+
+
+def dumps_netlist_dot(netlist: SFQNetlist) -> str:
+    """:func:`netlist_to_dot` into a string."""
+    import io
+
+    buf = io.StringIO()
+    netlist_to_dot(netlist, buf)
+    return buf.getvalue()

@@ -1,0 +1,218 @@
+"""Structural Verilog writer for logic networks and mapped SFQ netlists.
+
+Write-only (parsing Verilog is out of scope): produces synthesisable
+gate-level modules using primitive gates for logic networks, and an
+instantiation-style netlist (one cell instance per clocked element, with
+stage annotations as comments) for mapped SFQ netlists — the artefact a
+physical-design flow would consume.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, TextIO
+
+from repro.errors import ParseError
+from repro.network.gates import Gate, is_t1_tap
+from repro.network.logic_network import CONST0, CONST1, LogicNetwork
+from repro.network.traversal import live_nodes, topological_order
+from repro.sfq.netlist import CellKind, SFQNetlist
+
+_PRIMITIVE = {
+    Gate.AND: "and",
+    Gate.NAND: "nand",
+    Gate.OR: "or",
+    Gate.NOR: "nor",
+    Gate.XOR: "xor",
+    Gate.XNOR: "xnor",
+    Gate.NOT: "not",
+    Gate.BUF: "buf",
+}
+
+_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _sanitize(name: str) -> str:
+    if _ID_RE.match(name):
+        return name
+    return "\\" + name + " "
+
+
+def write_verilog(net: LogicNetwork, fh: TextIO) -> None:
+    """Write a logic network as a gate-primitive Verilog module."""
+    live = live_nodes(net)
+
+    def wire(node: int) -> str:
+        if node == CONST0:
+            return "1'b0"
+        if node == CONST1:
+            return "1'b1"
+        n = net.get_name(node)
+        if n and node in net.pis:
+            return _sanitize(n)
+        return f"n{node}"
+
+    pi_names = [wire(pi) for pi in net.pis]
+    po_names = [
+        _sanitize(nm) if nm else f"po{i}"
+        for i, nm in enumerate(net.po_names)
+    ]
+    fh.write(f"module {_sanitize(net.name)} (\n")
+    ports = ", ".join(pi_names + po_names)
+    fh.write(f"  {ports}\n);\n")
+    if pi_names:
+        fh.write("  input " + ", ".join(pi_names) + ";\n")
+    fh.write("  output " + ", ".join(po_names) + ";\n")
+
+    internal = [
+        n
+        for n in sorted(live)
+        if net.is_logic(n) and net.gates[n] is not Gate.T1_CELL
+    ]
+    if internal:
+        fh.write("  wire " + ", ".join(wire(n) for n in internal) + ";\n")
+
+    idx = 0
+    for node in topological_order(net):
+        if node not in live:
+            continue
+        g = net.gates[node]
+        if g in (Gate.PI, Gate.CONST0, Gate.CONST1, Gate.T1_CELL):
+            continue
+        idx += 1
+        if is_t1_tap(g):
+            cell = net.fanins[node][0]
+            a, b, c = (wire(f) for f in net.fanins[cell])
+            out = wire(node)
+            if g is Gate.T1_S:
+                fh.write(f"  xor g{idx} ({out}, {a}, {b}, {c});\n")
+            elif g in (Gate.T1_C, Gate.T1_CN):
+                maj = f"{out}_maj"
+                fh.write(f"  wire {maj};\n")
+                fh.write(
+                    f"  assign {maj} = ({a} & {b}) | ({a} & {c}) | ({b} & {c});\n"
+                )
+                if g is Gate.T1_C:
+                    fh.write(f"  buf g{idx} ({out}, {maj});\n")
+                else:
+                    fh.write(f"  not g{idx} ({out}, {maj});\n")
+            elif g is Gate.T1_Q:
+                fh.write(f"  or g{idx} ({out}, {a}, {b}, {c});\n")
+            else:
+                fh.write(f"  nor g{idx} ({out}, {a}, {b}, {c});\n")
+            continue
+        if g is Gate.MAJ3:
+            a, b, c = (wire(f) for f in net.fanins[node])
+            fh.write(
+                f"  assign {wire(node)} = ({a} & {b}) | ({a} & {c}) | "
+                f"({b} & {c});\n"
+            )
+            continue
+        prim = _PRIMITIVE.get(g)
+        if prim is None:
+            raise ParseError(f"gate {g.name} has no Verilog primitive")
+        ins = ", ".join(wire(f) for f in net.fanins[node])
+        fh.write(f"  {prim} g{idx} ({wire(node)}, {ins});\n")
+
+    for po, po_name in zip(net.pos, po_names):
+        fh.write(f"  assign {po_name} = {wire(po)};\n")
+    fh.write("endmodule\n")
+
+
+def write_sfq_verilog(netlist: SFQNetlist, fh: TextIO) -> None:
+    """Write a mapped SFQ netlist as a cell-instance module.
+
+    Cell types reference an SFQ standard-cell library (SFQ_AND2, SFQ_DFF,
+    SFQ_T1, ...); stage assignments are emitted as per-instance comments
+    for the clock-tree generator downstream.
+    """
+    def wire(sig) -> str:
+        cell_id, port = sig
+        return f"w{cell_id}_{port}"
+
+    pi_names = []
+    for pi in netlist.pis:
+        name = netlist.cells[pi].name or f"pi{pi}"
+        pi_names.append(_sanitize(name))
+    po_names = [
+        _sanitize(nm) if nm else f"po{i}" for i, (s, nm) in enumerate(netlist.pos)
+    ]
+    fh.write(f"module {_sanitize(netlist.name)} (clk, ")
+    fh.write(", ".join(pi_names + po_names))
+    fh.write(");\n  input clk;\n")
+    if pi_names:
+        fh.write("  input " + ", ".join(pi_names) + ";\n")
+    fh.write("  output " + ", ".join(po_names) + ";\n")
+
+    for cell in netlist.cells:
+        if cell.kind is CellKind.PI:
+            fh.write(f"  wire w{cell.index}_out;\n")
+            fh.write(
+                f"  assign w{cell.index}_out = "
+                f"{_sanitize(cell.name or f'pi{cell.index}')};"
+                f"  // PI @ stage {cell.stage}\n"
+            )
+            continue
+        if cell.kind in (CellKind.CONST0, CellKind.CONST1):
+            value = "1'b1" if cell.kind is CellKind.CONST1 else "1'b0"
+            fh.write(f"  wire w{cell.index}_out = {value};\n")
+            continue
+        if cell.kind is CellKind.SPLITTER:
+            src = wire(cell.fanins[0])
+            fh.write(
+                f"  wire w{cell.index}_o0, w{cell.index}_o1;\n"
+                f"  SFQ_SPLIT s{cell.index} (.a({src}), "
+                f".o0(w{cell.index}_o0), .o1(w{cell.index}_o1));\n"
+            )
+            continue
+        if cell.kind is CellKind.DFF:
+            src = wire(cell.fanins[0])
+            fh.write(
+                f"  wire w{cell.index}_out;\n"
+                f"  SFQ_DFF d{cell.index} (.clk(clk), .d({src}), "
+                f".q(w{cell.index}_out));  // stage {cell.stage}\n"
+            )
+            continue
+        if cell.kind is CellKind.T1:
+            a, b, c = (wire(s) for s in cell.fanins)
+            fh.write(
+                f"  wire w{cell.index}_S, w{cell.index}_C, w{cell.index}_Q;\n"
+                f"  SFQ_T1 t{cell.index} (.clk(clk), .a({a}), .b({b}), "
+                f".c({c}), .s(w{cell.index}_S), .carry(w{cell.index}_C), "
+                f".q(w{cell.index}_Q));  // stage {cell.stage}\n"
+            )
+            continue
+        assert cell.kind is CellKind.GATE and cell.op is not None
+        ins = ", ".join(
+            f".i{i}({wire(s)})" for i, s in enumerate(cell.fanins)
+        )
+        ctype = f"SFQ_{cell.op.name}{len(cell.fanins)}"
+        if cell.op is Gate.NOT:
+            ctype = "SFQ_NOT"
+        fh.write(
+            f"  wire w{cell.index}_out;\n"
+            f"  {ctype} g{cell.index} (.clk(clk), {ins}, "
+            f".o(w{cell.index}_out));  // stage {cell.stage}\n"
+        )
+
+    for (sig, _nm), po_name in zip(netlist.pos, po_names):
+        fh.write(f"  assign {po_name} = {wire(sig)};\n")
+    fh.write("endmodule\n")
+
+
+def dumps_verilog(net: LogicNetwork) -> str:
+    """:func:`write_verilog` into a string."""
+    import io
+
+    buf = io.StringIO()
+    write_verilog(net, buf)
+    return buf.getvalue()
+
+
+def dumps_sfq_verilog(netlist: SFQNetlist) -> str:
+    """:func:`write_sfq_verilog` into a string."""
+    import io
+
+    buf = io.StringIO()
+    write_sfq_verilog(netlist, buf)
+    return buf.getvalue()

@@ -1,0 +1,99 @@
+"""Cost metrics of mapped SFQ netlists: the three columns of Table I.
+
+* ``#DFF``  — number of inserted path-balancing / staggering DFFs;
+* ``area``  — total JJ count: gate cells + T1 cells + DFFs + splitters
+  (a net with f consumers costs f − 1 splitters: every chain DFF re-drives
+  the pulse, so chain length does not change the splitter count);
+* ``depth`` — pipeline depth in clock cycles, ⌈σ_max / n⌉.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import MappingError
+from repro.sfq.cell_library import CellLibrary, default_library
+from repro.sfq.multiphase import depth_cycles
+from repro.sfq.netlist import CellKind, SFQNetlist
+
+
+@dataclass(frozen=True)
+class NetlistMetrics:
+    """Cost summary of one mapped netlist."""
+
+    name: str
+    n_phases: int
+    num_gates: int
+    num_t1: int
+    num_dffs: int
+    num_splitters: int
+    area_jj: int
+    depth_cycles: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "gates": self.num_gates,
+            "t1": self.num_t1,
+            "dffs": self.num_dffs,
+            "splitters": self.num_splitters,
+            "area_jj": self.area_jj,
+            "depth_cycles": self.depth_cycles,
+        }
+
+
+def count_splitters(netlist: SFQNetlist) -> int:
+    """f − 1 splitters per net with f consumers (POs count as consumers)."""
+    total = 0
+    for _sig, users in netlist.consumers().items():
+        if len(users) > 1:
+            total += len(users) - 1
+    return total
+
+
+def area_jj(
+    netlist: SFQNetlist, library: Optional[CellLibrary] = None
+) -> int:
+    """Total JJ count of the netlist under the given cost model."""
+    library = library or default_library()
+    total = 0
+    for cell in netlist.cells:
+        if cell.kind in (CellKind.PI, CellKind.CONST0, CellKind.CONST1):
+            continue
+        if cell.kind is CellKind.DFF:
+            total += library.dff.jj_count
+        elif cell.kind is CellKind.T1:
+            total += library.t1.jj_count
+        elif cell.kind is CellKind.SPLITTER:
+            total += library.splitter.jj_count
+        elif cell.kind is CellKind.GATE:
+            assert cell.op is not None
+            total += library.gate_area(cell.op, len(cell.fanins))
+        else:  # pragma: no cover - exhaustive
+            raise MappingError(f"unknown cell kind {cell.kind}")
+    # nets not yet materialised still need their combinatorial f-1 count
+    # (after materialize_splitters every net has one consumer -> adds 0)
+    total += count_splitters(netlist) * library.splitter.jj_count
+    return total
+
+
+def measure(
+    netlist: SFQNetlist, library: Optional[CellLibrary] = None
+) -> NetlistMetrics:
+    """All Table-I metrics for one netlist."""
+    library = library or default_library()
+    num_gates = sum(1 for _ in netlist.gate_cells())
+    num_t1 = sum(1 for _ in netlist.t1_cells())
+    num_dffs = netlist.num_dffs()
+    physical = sum(1 for c in netlist.cells if c.kind is CellKind.SPLITTER)
+    splitters = physical + count_splitters(netlist)
+    return NetlistMetrics(
+        name=netlist.name,
+        n_phases=netlist.n_phases,
+        num_gates=num_gates,
+        num_t1=num_t1,
+        num_dffs=num_dffs,
+        num_splitters=splitters,
+        area_jj=area_jj(netlist, library),
+        depth_cycles=depth_cycles(netlist.max_stage(), netlist.n_phases),
+    )

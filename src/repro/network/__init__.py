@@ -1,0 +1,107 @@
+"""Logic-network kernel: the mockturtle replacement.
+
+Public surface:
+
+* :class:`~repro.network.logic_network.LogicNetwork` — mutable DAG.
+* :class:`~repro.network.gates.Gate` — gate alphabet (incl. T1 blocks).
+* :class:`~repro.network.truth_table.TruthTable` — small function tables.
+* cut enumeration, MFFC, NPN canonisation, simulation, CEC, cleanup.
+"""
+
+from repro.network.gates import CLOCKED_GATES, Gate, T1_TAPS, eval_gate, is_t1_tap
+from repro.network.logic_network import CONST0, CONST1, LogicNetwork
+from repro.network.truth_table import (
+    TruthTable,
+    and3_tt,
+    maj3_tt,
+    or3_tt,
+    xor3_tt,
+)
+from repro.network.traversal import (
+    depth,
+    levels,
+    live_nodes,
+    topological_order,
+    transitive_fanin,
+    transitive_fanout,
+)
+from repro.network.simulation import (
+    eval_int,
+    exhaustive_pi_patterns,
+    node_function_on_leaves,
+    random_patterns,
+    simulate,
+    simulate_exhaustive,
+    simulate_pos,
+    simulate_words,
+)
+from repro.network.cuts import Cut, CutDatabase, enumerate_cuts
+from repro.network.mffc import MffcComputer, mffc
+from repro.network.npn import NpnTransform, match_against, npn_canon, npn_equivalent
+from repro.network.balance import balance
+from repro.network.cleanup import strash, sweep
+from repro.network.isop import Cube, cover_table, isop, isop_interval, synthesize_sop
+from repro.network.transforms import refactor, to_aig_form
+from repro.network.equivalence import (
+    CecResult,
+    assert_equivalent,
+    check_equivalence,
+    exhaustive_equivalence,
+    sat_equivalence,
+    simulate_equivalence,
+)
+
+__all__ = [
+    "CLOCKED_GATES",
+    "CONST0",
+    "CONST1",
+    "CecResult",
+    "Cube",
+    "Cut",
+    "balance",
+    "cover_table",
+    "isop",
+    "isop_interval",
+    "refactor",
+    "synthesize_sop",
+    "to_aig_form",
+    "CutDatabase",
+    "Gate",
+    "LogicNetwork",
+    "MffcComputer",
+    "NpnTransform",
+    "T1_TAPS",
+    "TruthTable",
+    "and3_tt",
+    "assert_equivalent",
+    "check_equivalence",
+    "depth",
+    "enumerate_cuts",
+    "eval_gate",
+    "eval_int",
+    "exhaustive_equivalence",
+    "exhaustive_pi_patterns",
+    "is_t1_tap",
+    "levels",
+    "live_nodes",
+    "maj3_tt",
+    "match_against",
+    "mffc",
+    "node_function_on_leaves",
+    "npn_canon",
+    "npn_equivalent",
+    "or3_tt",
+    "random_patterns",
+    "sat_equivalence",
+    "simulate",
+    "simulate_equivalence",
+    "simulate_exhaustive",
+    "simulate_pos",
+    "simulate_words",
+    "strash",
+    "sweep",
+    "topological_order",
+    "transitive_fanin",
+    "transitive_fanout",
+    "xor3_tt",
+]

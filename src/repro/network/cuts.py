@@ -1,0 +1,153 @@
+"""k-feasible priority cut enumeration with cut truth tables.
+
+Follows Cong et al. (FPGA'99, ref. [8] of the paper): the cut set of a
+node is built by merging the cut sets of its fanins, keeping only cuts
+with at most *k* leaves, filtering dominated cuts, and pruning to the
+``cuts_per_node`` best (smaller first) to bound the blow-up.
+
+Each cut carries the truth table of the node over the cut leaves — this is
+what Boolean matching consumes.  Since the function of a node over a fixed
+leaf set is unique, tables are computed once per distinct leaf set (the
+merge loop only manipulates leaf tuples, which keeps pure-Python
+enumeration fast enough for 20k-node networks).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import NetworkError
+from repro.network.gates import Gate, eval_gate, is_t1_tap
+from repro.network.logic_network import LogicNetwork
+from repro.network.traversal import topological_order
+from repro.network.truth_table import TruthTable
+
+
+@dataclass(frozen=True)
+class Cut:
+    """A cut of some node: sorted leaf tuple + function over those leaves."""
+
+    leaves: Tuple[int, ...]
+    table: TruthTable
+
+    def dominates(self, other: "Cut") -> bool:
+        """True if this cut's leaves are a subset of the other's."""
+        return set(self.leaves) <= set(other.leaves)
+
+    def __len__(self) -> int:
+        return len(self.leaves)
+
+
+class CutDatabase:
+    """Cut sets for every node of a network."""
+
+    def __init__(self, cuts: List[List[Cut]], k: int):
+        self.cuts = cuts
+        self.k = k
+
+    def __getitem__(self, node: int) -> List[Cut]:
+        return self.cuts[node]
+
+    def cut_with_leaves(self, node: int, leaves: Tuple[int, ...]) -> Optional[Cut]:
+        for c in self.cuts[node]:
+            if c.leaves == leaves:
+                return c
+        return None
+
+
+def _compose_table(
+    net: LogicNetwork,
+    gate: Gate,
+    fanin_cuts: Sequence[Cut],
+    leaves: Tuple[int, ...],
+) -> TruthTable:
+    """Truth table of ``gate`` over *leaves* from its fanins' cut tables."""
+    k = len(leaves)
+    pos = {leaf: i for i, leaf in enumerate(leaves)}
+    mask = (1 << (1 << k)) - 1
+    fanin_tts = []
+    for cut in fanin_cuts:
+        positions = [pos[leaf] for leaf in cut.leaves]
+        fanin_tts.append(cut.table.remap(positions, k).bits)
+    return TruthTable(eval_gate(gate, fanin_tts, mask) & mask, k)
+
+
+def enumerate_cuts(
+    net: LogicNetwork,
+    k: int = 3,
+    cuts_per_node: int = 8,
+    include_trivial: bool = True,
+    order: Optional[Sequence[int]] = None,
+) -> CutDatabase:
+    """Enumerate priority cuts for every node.
+
+    Parameters
+    ----------
+    k:
+        Maximum number of cut leaves.
+    cuts_per_node:
+        Priority-cut limit (smallest cuts kept); the trivial cut ``{node}``
+        is always kept in addition so merges never starve.
+
+    T1 blocks: the cell and its taps get only trivial cuts (they are
+    already mapped; re-matching inside them is pointless).
+    """
+    if k < 1:
+        raise NetworkError("cut size k must be >= 1")
+    if order is None:
+        order = topological_order(net)
+    n = net.num_nodes()
+    db: List[List[Cut]] = [[] for _ in range(n)]
+    gates = net.gates
+    fanins = net.fanins
+    tt_var0 = TruthTable.var(0, 1)
+
+    for node in order:
+        g = gates[node]
+        if g in (Gate.CONST0, Gate.CONST1):
+            db[node] = [Cut((), TruthTable.const(g is Gate.CONST1, 0))]
+            continue
+        if g is Gate.PI or g is Gate.T1_CELL or is_t1_tap(g):
+            db[node] = [Cut((node,), tt_var0)]
+            continue
+
+        fins = fanins[node]
+        fanin_cut_sets = [db[f] for f in fins]
+
+        # 1) enumerate distinct feasible leaf sets (cheap tuple-set work)
+        chosen: Dict[Tuple[int, ...], Tuple[Cut, ...]] = {}
+        for combo in itertools.product(*fanin_cut_sets):
+            leaves_set = set()
+            ok = True
+            for c in combo:
+                leaves_set.update(c.leaves)
+                if len(leaves_set) > k:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            key = tuple(sorted(leaves_set))
+            if key not in chosen:
+                chosen[key] = combo
+
+        # 2) dominance filter on leaf sets
+        keys = sorted(chosen.keys(), key=lambda t: (len(t), t))
+        kept: List[Tuple[int, ...]] = []
+        for key in keys:
+            ks = set(key)
+            if any(set(prev) <= ks for prev in kept):
+                continue
+            kept.append(key)
+        kept = kept[:cuts_per_node]
+
+        # 3) compose tables once per surviving leaf set
+        result = [
+            Cut(key, _compose_table(net, g, chosen[key], key)) for key in kept
+        ]
+        if include_trivial:
+            result.append(Cut((node,), tt_var0))
+        db[node] = result
+
+    return CutDatabase(db, k)

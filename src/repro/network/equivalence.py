@@ -1,0 +1,166 @@
+"""Combinational equivalence checking (CEC).
+
+Three engines, used in escalation order by :func:`check_equivalence`:
+
+1. exhaustive bit-parallel simulation when the PI count is small;
+2. random bit-parallel simulation (fast falsification witness);
+3. SAT on the XOR miter (complete; uses :mod:`repro.sat`).
+
+The T1 flow uses CEC after every replacement pass: T1 taps evaluate their
+XOR3/MAJ3/OR3 semantics in simulation, and the CNF encoder expands them
+the same way, so mapped and original networks are compared directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import EquivalenceError, NetworkError
+from repro.network.logic_network import LogicNetwork
+from repro.network.simulation import (
+    exhaustive_pi_patterns,
+    random_patterns,
+    simulate_pos,
+)
+
+EXHAUSTIVE_PI_LIMIT = 14
+DEFAULT_RANDOM_WIDTH = 4096
+DEFAULT_RANDOM_ROUNDS = 16
+
+
+@dataclass
+class CecResult:
+    """Outcome of a CEC run."""
+
+    equivalent: bool
+    method: str
+    counterexample: Optional[Dict[str, int]] = None  # pi name/index -> bit
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def _check_interfaces(a: LogicNetwork, b: LogicNetwork) -> None:
+    if len(a.pis) != len(b.pis):
+        raise NetworkError(
+            f"PI count mismatch: {len(a.pis)} vs {len(b.pis)}"
+        )
+    if len(a.pos) != len(b.pos):
+        raise NetworkError(
+            f"PO count mismatch: {len(a.pos)} vs {len(b.pos)}"
+        )
+
+
+def _extract_cex(
+    a: LogicNetwork, pi_vectors: Sequence[int], bit: int
+) -> Dict[str, int]:
+    cex = {}
+    for i, pi in enumerate(a.pis):
+        name = a.get_name(pi) or f"pi{i}"
+        cex[name] = (pi_vectors[i] >> bit) & 1
+    return cex
+
+
+def simulate_equivalence(
+    a: LogicNetwork,
+    b: LogicNetwork,
+    width: int = DEFAULT_RANDOM_WIDTH,
+    rounds: int = DEFAULT_RANDOM_ROUNDS,
+    seed: int = 2024,
+) -> CecResult:
+    """Random-simulation CEC: complete only as a falsifier."""
+    _check_interfaces(a, b)
+    for r in range(rounds):
+        vecs = random_patterns(len(a.pis), width, seed=seed + r)
+        pos_a = simulate_pos(a, vecs, width)
+        pos_b = simulate_pos(b, vecs, width)
+        for va, vb in zip(pos_a, pos_b):
+            diff = va ^ vb
+            if diff:
+                bit = (diff & -diff).bit_length() - 1
+                return CecResult(False, "random", _extract_cex(a, vecs, bit))
+    return CecResult(True, "random")
+
+
+def exhaustive_equivalence(a: LogicNetwork, b: LogicNetwork) -> CecResult:
+    """Complete CEC by simulating all 2^k input patterns."""
+    _check_interfaces(a, b)
+    k = len(a.pis)
+    if k > EXHAUSTIVE_PI_LIMIT:
+        raise NetworkError(f"{k} PIs too many for exhaustive CEC")
+    vecs = exhaustive_pi_patterns(k)
+    width = 1 << k
+    pos_a = simulate_pos(a, vecs, width)
+    pos_b = simulate_pos(b, vecs, width)
+    for va, vb in zip(pos_a, pos_b):
+        diff = va ^ vb
+        if diff:
+            bit = (diff & -diff).bit_length() - 1
+            return CecResult(False, "exhaustive", _extract_cex(a, vecs, bit))
+    return CecResult(True, "exhaustive")
+
+
+def sat_equivalence(
+    a: LogicNetwork, b: LogicNetwork, conflict_limit: int = 2_000_000
+) -> CecResult:
+    """Complete CEC via a SAT miter (pairwise PO XOR, ORed)."""
+    from repro.sat.cnf import CnfBuilder
+    from repro.sat.solver import SatSolver, SatStatus
+
+    _check_interfaces(a, b)
+    builder = CnfBuilder()
+    pi_vars = [builder.new_var() for _ in a.pis]
+    lits_a = builder.encode_network(a, pi_vars)
+    lits_b = builder.encode_network(b, pi_vars)
+    diffs = []
+    for la, lb in zip(lits_a, lits_b):
+        diffs.append(builder.add_xor2(la, lb))
+    builder.add_clause(diffs)  # some PO differs
+    solver = SatSolver(builder.num_vars, builder.clauses)
+    status = solver.solve(conflict_limit=conflict_limit)
+    if status is SatStatus.UNSAT:
+        return CecResult(True, "sat")
+    if status is SatStatus.SAT:
+        model = solver.model()
+        cex = {}
+        for i, pi in enumerate(a.pis):
+            name = a.get_name(pi) or f"pi{i}"
+            cex[name] = 1 if model[pi_vars[i]] else 0
+        return CecResult(False, "sat", cex)
+    raise EquivalenceError("SAT CEC hit its conflict limit")
+
+
+def check_equivalence(
+    a: LogicNetwork,
+    b: LogicNetwork,
+    complete: bool = True,
+    random_width: int = DEFAULT_RANDOM_WIDTH,
+    random_rounds: int = DEFAULT_RANDOM_ROUNDS,
+) -> CecResult:
+    """CEC with engine escalation.
+
+    * few PIs -> exhaustive (complete);
+    * otherwise random simulation first (cheap falsification), then — when
+      ``complete`` and the miter is small enough — SAT.
+
+    For large networks with ``complete=True`` the SAT call may be slow;
+    flows use ``complete=False`` plus heavy random simulation, and the
+    test-suite runs complete checks on down-scaled circuits.
+    """
+    _check_interfaces(a, b)
+    if len(a.pis) <= EXHAUSTIVE_PI_LIMIT:
+        return exhaustive_equivalence(a, b)
+    res = simulate_equivalence(a, b, width=random_width, rounds=random_rounds)
+    if not res.equivalent or not complete:
+        return res
+    return sat_equivalence(a, b)
+
+
+def assert_equivalent(a: LogicNetwork, b: LogicNetwork, **kwargs) -> None:
+    """Raise :class:`EquivalenceError` (with witness) unless a == b."""
+    res = check_equivalence(a, b, **kwargs)
+    if not res.equivalent:
+        raise EquivalenceError(
+            f"networks differ (method={res.method})", res.counterexample
+        )

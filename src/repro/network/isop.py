@@ -1,0 +1,150 @@
+"""Irredundant sum-of-products (ISOP) synthesis from truth tables.
+
+Implements the classic Minato-Morreale recursion: given an interval
+[L, U] of functions (for exact synthesis L == U), produce a cube cover f
+with L <= f <= U that is irredundant by construction.  Used by the
+refactoring pass to resynthesise small cones.
+
+A cube over k variables is a pair of masks ``(pos, neg)``: variable i
+appears positively when bit i of ``pos`` is set, negatively when bit i of
+``neg`` is set; a cube with both masks empty is the tautology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.network.logic_network import CONST0, CONST1, LogicNetwork
+from repro.network.truth_table import TruthTable
+
+
+@dataclass(frozen=True)
+class Cube:
+    """Product term: AND of positive and negative literals."""
+
+    pos: int
+    neg: int
+
+    def literals(self) -> int:
+        return bin(self.pos).count("1") + bin(self.neg).count("1")
+
+    def evaluate(self, assignment: int) -> bool:
+        if self.pos & ~assignment:
+            return False
+        if self.neg & assignment:
+            return False
+        return True
+
+    def with_literal(self, var: int, positive: bool) -> "Cube":
+        if positive:
+            return Cube(self.pos | (1 << var), self.neg)
+        return Cube(self.pos, self.neg | (1 << var))
+
+    def to_table(self, num_vars: int) -> TruthTable:
+        bits = 0
+        for row in range(1 << num_vars):
+            if self.evaluate(row):
+                bits |= 1 << row
+        return TruthTable(bits, num_vars)
+
+
+def isop(tt: TruthTable) -> List[Cube]:
+    """Minato-Morreale ISOP of an exactly-specified function."""
+    cubes, _cover = _isop(tt, tt)
+    return cubes
+
+
+def isop_interval(lower: TruthTable, upper: TruthTable) -> List[Cube]:
+    """ISOP of any function f with lower <= f <= upper (don't-cares)."""
+    cubes, _cover = _isop(lower, upper)
+    return cubes
+
+
+def _top_var(l: TruthTable, u: TruthTable) -> int:
+    for var in reversed(range(l.num_vars)):
+        if l.depends_on(var) or u.depends_on(var):
+            return var
+    return -1
+
+
+def _isop(l: TruthTable, u: TruthTable) -> Tuple[List[Cube], TruthTable]:
+    if l.bits == 0:
+        return [], TruthTable.const(False, l.num_vars)
+    if u.bits == u.mask:
+        return [Cube(0, 0)], TruthTable.const(True, l.num_vars)
+    var = _top_var(l, u)
+    assert var >= 0, "non-constant interval must depend on something"
+    l0, l1 = l.cofactor(var, 0), l.cofactor(var, 1)
+    u0, u1 = u.cofactor(var, 0), u.cofactor(var, 1)
+
+    # cubes that must contain the literal !x (onset only where x=0)
+    c0, f0 = _isop(l0 & ~u1, u0)
+    # cubes that must contain the literal x
+    c1, f1 = _isop(l1 & ~u0, u1)
+    # remaining onset, coverable without mentioning x
+    l_rest = (l0 & ~f0) | (l1 & ~f1)
+    c2, f2 = _isop(l_rest, u0 & u1)
+
+    cubes = (
+        [c.with_literal(var, False) for c in c0]
+        + [c.with_literal(var, True) for c in c1]
+        + c2
+    )
+    x = TruthTable.var(var, l.num_vars)
+    cover = (~x & (f0 | f2)) | (x & (f1 | f2))
+    return cubes, cover
+
+
+def cover_table(cubes: Sequence[Cube], num_vars: int) -> TruthTable:
+    """OR of all cube tables — the function a cover realises."""
+    bits = 0
+    for cube in cubes:
+        bits |= cube.to_table(num_vars).bits
+    return TruthTable(bits, num_vars)
+
+
+def synthesize_sop(
+    net: LogicNetwork, leaves: Sequence[int], cubes: Sequence[Cube]
+) -> int:
+    """Build the AND-OR network of a cube cover over *leaves*.
+
+    Returns the root node id (a constant for empty / tautological covers).
+    """
+    if not cubes:
+        return CONST0
+    terms: List[int] = []
+    inverters = {}
+
+    def inv(node: int) -> int:
+        if node not in inverters:
+            inverters[node] = net.add_not(node)
+        return inverters[node]
+
+    for cube in cubes:
+        lits: List[int] = []
+        for i, leaf in enumerate(leaves):
+            if (cube.pos >> i) & 1:
+                lits.append(leaf)
+            elif (cube.neg >> i) & 1:
+                lits.append(inv(leaf))
+        if not lits:
+            return CONST1  # tautological cube
+        term = lits[0]
+        for lit in lits[1:]:
+            term = net.add_and(term, lit)
+        terms.append(term)
+    out = terms[0]
+    for term in terms[1:]:
+        out = net.add_or(out, term)
+    return out
+
+
+def sop_cost(cubes: Sequence[Cube]) -> int:
+    """Literal-count cost proxy of a cover (gates the refactorer builds)."""
+    if not cubes:
+        return 0
+    ands = sum(max(0, c.literals() - 1) for c in cubes)
+    ors = max(0, len(cubes) - 1)
+    nots = len({("n", i) for c in cubes for i in range(32) if (c.neg >> i) & 1})
+    return ands + ors + nots

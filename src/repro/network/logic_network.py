@@ -1,0 +1,276 @@
+"""Mutable gate-level logic network (DAG of single-output nodes).
+
+Design notes
+------------
+* Nodes are integer handles into parallel arrays (compact, fast in pure
+  Python).  Node 0 is CONST0 and node 1 is CONST1; they always exist.
+* Fanins are stored as tuples of node ids.  The network is append-only for
+  nodes, but fanin tuples can be rewritten via :meth:`substitute`, and
+  unreferenced nodes are removed lazily by :func:`repro.network.cleanup.sweep`
+  (ids are then compacted into a fresh network).
+* Creation order is *not* required to be topological after substitutions;
+  use :func:`repro.network.traversal.topological_order`.
+* The T1 cell is a multi-output block: a ``T1_CELL`` node plus tap nodes
+  (see :mod:`repro.network.gates`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import NetworkError
+from repro.network.gates import Gate, check_arity, is_t1_tap
+
+CONST0 = 0
+CONST1 = 1
+
+
+class LogicNetwork:
+    """A combinational logic network.
+
+    Attributes
+    ----------
+    gates:
+        ``gates[i]`` is the :class:`Gate` kind of node ``i``.
+    fanins:
+        ``fanins[i]`` is the tuple of fanin node ids of node ``i``.
+    """
+
+    def __init__(self, name: str = "top"):
+        self.name = name
+        self.gates: List[Gate] = [Gate.CONST0, Gate.CONST1]
+        self.fanins: List[Tuple[int, ...]] = [(), ()]
+        self._pis: List[int] = []
+        self._pos: List[int] = []
+        self._po_names: List[Optional[str]] = []
+        self._names: Dict[int, str] = {}
+
+    # -- size / iteration ----------------------------------------------------
+
+    def num_nodes(self) -> int:
+        """Total node count including constants, PIs and taps."""
+        return len(self.gates)
+
+    def nodes(self) -> Iterator[int]:
+        return iter(range(len(self.gates)))
+
+    def num_gates(self) -> int:
+        """Count of logic nodes (excludes constants, PIs and T1 taps)."""
+        skip = (Gate.CONST0, Gate.CONST1, Gate.PI)
+        return sum(
+            1
+            for g in self.gates
+            if g not in skip and not is_t1_tap(g)
+        )
+
+    @property
+    def pis(self) -> Tuple[int, ...]:
+        return tuple(self._pis)
+
+    @property
+    def pos(self) -> Tuple[int, ...]:
+        return tuple(self._pos)
+
+    @property
+    def po_names(self) -> Tuple[Optional[str], ...]:
+        return tuple(self._po_names)
+
+    # -- construction ----------------------------------------------------------
+
+    def _new_node(self, gate: Gate, fanins: Tuple[int, ...]) -> int:
+        check_arity(gate, len(fanins))
+        for f in fanins:
+            if not 0 <= f < len(self.gates):
+                raise NetworkError(f"fanin {f} does not exist")
+        self.gates.append(gate)
+        self.fanins.append(fanins)
+        return len(self.gates) - 1
+
+    def add_pi(self, name: Optional[str] = None) -> int:
+        node = self._new_node(Gate.PI, ())
+        self._pis.append(node)
+        if name is not None:
+            self._names[node] = name
+        return node
+
+    def add_gate(self, gate: Gate, fanins: Sequence[int]) -> int:
+        """Append a logic node; *gate* must not be PI/const."""
+        if gate in (Gate.PI, Gate.CONST0, Gate.CONST1):
+            raise NetworkError(f"use add_pi()/constants for {gate.name}")
+        if gate is Gate.T1_CELL:
+            raise NetworkError("use add_t1_cell() for T1 blocks")
+        if is_t1_tap(gate):
+            cell = fanins[0]
+            if self.gates[cell] is not Gate.T1_CELL:
+                raise NetworkError("T1 tap fanin must be a T1_CELL node")
+        return self._new_node(gate, tuple(fanins))
+
+    def add_t1_cell(self, a: int, b: int, c: int) -> int:
+        """Append a T1 cell block over leaves (a, b, c); returns the cell id."""
+        return self._new_node(Gate.T1_CELL, (a, b, c))
+
+    def add_t1_tap(self, cell: int, tap: Gate) -> int:
+        if not is_t1_tap(tap):
+            raise NetworkError(f"{tap.name} is not a T1 tap")
+        return self.add_gate(tap, (cell,))
+
+    # convenience builders used heavily by circuit generators -----------------
+
+    def add_not(self, a: int) -> int:
+        return self.add_gate(Gate.NOT, (a,))
+
+    def add_buf(self, a: int) -> int:
+        return self.add_gate(Gate.BUF, (a,))
+
+    def add_and(self, *fanins: int) -> int:
+        return self.add_gate(Gate.AND, fanins)
+
+    def add_or(self, *fanins: int) -> int:
+        return self.add_gate(Gate.OR, fanins)
+
+    def add_xor(self, *fanins: int) -> int:
+        return self.add_gate(Gate.XOR, fanins)
+
+    def add_nand(self, *fanins: int) -> int:
+        return self.add_gate(Gate.NAND, fanins)
+
+    def add_nor(self, *fanins: int) -> int:
+        return self.add_gate(Gate.NOR, fanins)
+
+    def add_xnor(self, *fanins: int) -> int:
+        return self.add_gate(Gate.XNOR, fanins)
+
+    def add_maj3(self, a: int, b: int, c: int) -> int:
+        return self.add_gate(Gate.MAJ3, (a, b, c))
+
+    def add_mux(self, sel: int, d0: int, d1: int) -> int:
+        """2:1 multiplexer out = sel ? d1 : d0, built from basic gates."""
+        ns = self.add_not(sel)
+        t0 = self.add_and(ns, d0)
+        t1 = self.add_and(sel, d1)
+        return self.add_or(t0, t1)
+
+    def add_po(self, node: int, name: Optional[str] = None) -> int:
+        """Mark *node* as a primary output; returns the PO index."""
+        if not 0 <= node < len(self.gates):
+            raise NetworkError(f"PO target {node} does not exist")
+        if self.gates[node] is Gate.T1_CELL:
+            raise NetworkError("a T1_CELL has no single output; tap it first")
+        self._pos.append(node)
+        self._po_names.append(name)
+        return len(self._pos) - 1
+
+    # -- names ------------------------------------------------------------------
+
+    def set_name(self, node: int, name: str) -> None:
+        self._names[node] = name
+
+    def get_name(self, node: int) -> Optional[str]:
+        return self._names.get(node)
+
+    # -- structure queries -------------------------------------------------------
+
+    def gate(self, node: int) -> Gate:
+        return self.gates[node]
+
+    def fanin(self, node: int) -> Tuple[int, ...]:
+        return self.fanins[node]
+
+    def is_pi(self, node: int) -> bool:
+        return self.gates[node] is Gate.PI
+
+    def is_const(self, node: int) -> bool:
+        return node in (CONST0, CONST1)
+
+    def is_logic(self, node: int) -> bool:
+        g = self.gates[node]
+        return g not in (Gate.CONST0, Gate.CONST1, Gate.PI)
+
+    def t1_cells(self) -> List[int]:
+        return [n for n in self.nodes() if self.gates[n] is Gate.T1_CELL]
+
+    def t1_taps_of(self, cell: int) -> List[int]:
+        return [
+            n
+            for n in self.nodes()
+            if is_t1_tap(self.gates[n]) and self.fanins[n][0] == cell
+        ]
+
+    def compute_fanouts(self) -> List[List[int]]:
+        """``fanouts[u]`` = list of nodes having u as a fanin (with repeats)."""
+        fanouts: List[List[int]] = [[] for _ in range(len(self.gates))]
+        for node, fins in enumerate(self.fanins):
+            for f in fins:
+                fanouts[f].append(node)
+        return fanouts
+
+    def compute_fanout_counts(self) -> List[int]:
+        counts = [0] * len(self.gates)
+        for node, fins in enumerate(self.fanins):
+            for f in fins:
+                counts[f] += 1
+        for po in self._pos:
+            counts[po] += 1
+        return counts
+
+    # -- mutation ------------------------------------------------------------------
+
+    def substitute(self, old: int, new: int) -> int:
+        """Redirect every reference to *old* (fanins and POs) to *new*.
+
+        Returns the number of rewritten references.  The *old* node stays in
+        the arrays until a sweep; callers should not re-use it.
+        """
+        if old == new:
+            return 0
+        if not 0 <= new < len(self.gates):
+            raise NetworkError(f"substitute target {new} does not exist")
+        rewritten = 0
+        for node in range(len(self.gates)):
+            fins = self.fanins[node]
+            if old in fins:
+                self.fanins[node] = tuple(new if f == old else f for f in fins)
+                rewritten += fins.count(old)
+        for i, po in enumerate(self._pos):
+            if po == old:
+                self._pos[i] = new
+                rewritten += 1
+        return rewritten
+
+    def replace_fanin(self, node: int, old: int, new: int) -> None:
+        """Rewrite one node's fanin tuple only."""
+        fins = self.fanins[node]
+        if old not in fins:
+            raise NetworkError(f"{old} is not a fanin of {node}")
+        self.fanins[node] = tuple(new if f == old else f for f in fins)
+
+    # -- misc -----------------------------------------------------------------------
+
+    def clone(self) -> "LogicNetwork":
+        out = LogicNetwork(self.name)
+        out.gates = list(self.gates)
+        out.fanins = list(self.fanins)
+        out._pis = list(self._pis)
+        out._pos = list(self._pos)
+        out._po_names = list(self._po_names)
+        out._names = dict(self._names)
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        from collections import Counter
+
+        counter = Counter(g.name for g in self.gates)
+        return {
+            "nodes": self.num_nodes(),
+            "gates": self.num_gates(),
+            "pis": len(self._pis),
+            "pos": len(self._pos),
+            "t1_cells": counter.get("T1_CELL", 0),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"LogicNetwork(name={self.name!r}, gates={s['gates']}, "
+            f"pis={s['pis']}, pos={s['pos']}, t1={s['t1_cells']})"
+        )

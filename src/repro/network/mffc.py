@@ -1,0 +1,89 @@
+"""Maximum fanout-free cone (MFFC) computation.
+
+The MFFC of a node *u* is the set of nodes that are used exclusively
+(transitively) by *u*: removing *u* makes the whole cone dead.  Its total
+cell area is the area recovered when *u* is replaced — the ΔA term of
+eq. (2) in the paper.
+
+Implementation: classic reference-counting walk.  Dereference the fanins
+of *u*; every fanin whose count drops to zero joins the cone and is
+dereferenced recursively; then all counts are restored.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.network.gates import Gate, is_t1_tap
+from repro.network.logic_network import LogicNetwork
+
+
+class MffcComputer:
+    """Reusable MFFC engine over a frozen network snapshot."""
+
+    def __init__(self, net: LogicNetwork):
+        self.net = net
+        self.refs = net.compute_fanout_counts()
+
+    def _stoppable(self, node: int) -> bool:
+        """Nodes at which the cone always stops (never absorbed)."""
+        g = self.net.gates[node]
+        return g in (Gate.CONST0, Gate.CONST1, Gate.PI)
+
+    def mffc(self, root: int, boundary: Iterable[int] = ()) -> Set[int]:
+        """MFFC of *root*; *boundary* nodes are never absorbed.
+
+        Returns the set of cone nodes (root included).  T1 blocks are
+        treated as atomic: taps and cells are never absorbed (they are the
+        result of a previous mapping decision).
+        """
+        return self.mffc_union([root], boundary)
+
+    def mffc_union(
+        self, roots: Sequence[int], boundary: Iterable[int] = ()
+    ) -> Set[int]:
+        """Union MFFC of several roots, counted jointly.
+
+        The nodes of the union become dead when *all* roots are removed,
+        which is exactly the situation when a T1 cell replaces a group of
+        matched nodes.  Computed by dereferencing all roots together, so
+        shared internal nodes are absorbed once (no double counting).
+        """
+        net = self.net
+        refs = self.refs
+        stop = set(boundary)
+        roots = [
+            r
+            for r in roots
+            if not self._stoppable(r)
+            and net.gates[r] is not Gate.T1_CELL
+            and not is_t1_tap(net.gates[r])
+        ]
+        root_set = set(roots)
+        cone: Set[int] = set(roots)
+        touched: List[int] = []
+        worklist = list(roots)
+
+        while worklist:
+            u = worklist.pop()
+            for f in net.fanins[u]:
+                refs[f] -= 1
+                touched.append(f)
+                if (
+                    refs[f] == 0
+                    and f not in stop
+                    and f not in cone
+                    and not self._stoppable(f)
+                    and net.gates[f] is not Gate.T1_CELL
+                    and not is_t1_tap(net.gates[f])
+                ):
+                    cone.add(f)
+                    worklist.append(f)
+        for f in touched:
+            refs[f] += 1
+        return cone
+
+
+def mffc(net: LogicNetwork, root: int, boundary: Iterable[int] = ()) -> Set[int]:
+    """One-shot MFFC (builds a fresh reference count)."""
+    return MffcComputer(net).mffc(root, boundary)

@@ -1,0 +1,96 @@
+"""NPN canonisation of small Boolean functions.
+
+Two functions are NPN-equivalent when one can be obtained from the other
+by Negating inputs, Permuting inputs and/or Negating the output.  The
+canonical representative is the numerically smallest truth table reachable
+by any of the ``2^k * k! * 2`` transforms — exhaustive enumeration is
+perfectly fine for k <= 4, which covers the 3-input matching the T1 flow
+needs (48 transforms + output polarity).
+
+Boolean matching (De Micheli, ref. [9]) then reduces to comparing NPN
+canonical forms, with the applied transform recovered for netlist
+rewriting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TruthTableError
+from repro.network.truth_table import TruthTable
+
+
+@dataclass(frozen=True)
+class NpnTransform:
+    """Input permutation + input polarity + output polarity.
+
+    Applying the transform to a function f yields
+    ``g(x) = f(perm/polarity applied to x) ^ output_neg`` via
+    :meth:`apply`.
+    """
+
+    perm: Tuple[int, ...]
+    input_neg: int
+    output_neg: bool
+
+    def apply(self, tt: TruthTable) -> TruthTable:
+        out = tt.negate_vars(self.input_neg).permute(self.perm)
+        return ~out if self.output_neg else out
+
+
+@lru_cache(maxsize=None)
+def _all_transforms(k: int) -> Tuple[NpnTransform, ...]:
+    out = []
+    for perm in itertools.permutations(range(k)):
+        for neg in range(1 << k):
+            for oneg in (False, True):
+                out.append(NpnTransform(perm, neg, oneg))
+    return tuple(out)
+
+
+def npn_canon(tt: TruthTable) -> Tuple[TruthTable, NpnTransform]:
+    """Canonical representative and the transform that produces it.
+
+    ``transform.apply(tt) == canonical``.
+    """
+    if tt.num_vars > 4:
+        raise TruthTableError("NPN canonisation supported up to 4 variables")
+    best: Optional[TruthTable] = None
+    best_tf: Optional[NpnTransform] = None
+    for tf in _all_transforms(tt.num_vars):
+        cand = tf.apply(tt)
+        if best is None or cand.bits < best.bits:
+            best = cand
+            best_tf = tf
+    assert best is not None and best_tf is not None
+    return best, best_tf
+
+
+def npn_equivalent(a: TruthTable, b: TruthTable) -> bool:
+    """True when the two functions share an NPN class."""
+    if a.num_vars != b.num_vars:
+        return False
+    return npn_canon(a)[0].bits == npn_canon(b)[0].bits
+
+
+def match_against(
+    target: TruthTable, candidate: TruthTable
+) -> Optional[NpnTransform]:
+    """Find a transform with ``tf.apply(candidate) == target`` if one exists."""
+    if target.num_vars != candidate.num_vars:
+        return None
+    for tf in _all_transforms(target.num_vars):
+        if tf.apply(candidate).bits == target.bits:
+            return tf
+    return None
+
+
+def npn_class_size(tt: TruthTable) -> int:
+    """Number of distinct functions in the NPN class of *tt*."""
+    seen = set()
+    for tf in _all_transforms(tt.num_vars):
+        seen.add(tf.apply(tt).bits)
+    return len(seen)

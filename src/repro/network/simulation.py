@@ -1,0 +1,220 @@
+"""Bit-parallel simulation of logic networks.
+
+Each node value is a Python integer used as a *W*-bit vector: bit ``j`` is
+the node's value under input pattern ``j``.  Python's big integers make
+this both simple and fast (a single ``&`` simulates W patterns at once),
+and exhaustive simulation of a k-input network is just ``W = 2**k``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.errors import SimulationError
+from repro.network.gates import Gate, eval_gate, is_t1_tap
+from repro.network.logic_network import LogicNetwork
+from repro.network.traversal import topological_order
+from repro.network.truth_table import TruthTable
+
+
+def simulate(
+    net: LogicNetwork,
+    pi_values: Sequence[int],
+    width: int,
+    order: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Simulate the whole network.
+
+    Parameters
+    ----------
+    pi_values:
+        One W-bit integer per primary input, in ``net.pis`` order.
+    width:
+        Number of patterns W (defines the bit mask).
+
+    Returns the list of node values (indexed by node id).
+    """
+    if len(pi_values) != len(net.pis):
+        raise SimulationError(
+            f"expected {len(net.pis)} PI vectors, got {len(pi_values)}"
+        )
+    if width <= 0:
+        raise SimulationError("width must be positive")
+    mask = (1 << width) - 1
+    values: List[int] = [0] * net.num_nodes()
+    values[1] = mask
+    for pi, v in zip(net.pis, pi_values):
+        values[pi] = v & mask
+    if order is None:
+        order = topological_order(net)
+    gates = net.gates
+    fanins = net.fanins
+    for node in order:
+        g = gates[node]
+        if g in (Gate.CONST0, Gate.CONST1, Gate.PI):
+            continue
+        if g is Gate.T1_CELL:
+            continue  # multi-output block; taps read its fanins directly
+        if is_t1_tap(g):
+            cell = fanins[node][0]
+            fin_vals = [values[f] for f in fanins[cell]]
+        else:
+            fin_vals = [values[f] for f in fanins[node]]
+        values[node] = eval_gate(g, fin_vals, mask)
+    return values
+
+
+def simulate_pos(
+    net: LogicNetwork,
+    pi_values: Sequence[int],
+    width: int,
+) -> List[int]:
+    """Like :func:`simulate` but returns only the PO vectors."""
+    values = simulate(net, pi_values, width)
+    return [values[po] for po in net.pos]
+
+
+def exhaustive_pi_patterns(num_pis: int) -> List[int]:
+    """The canonical exhaustive stimulus: PI i carries its projection table."""
+    width = 1 << num_pis
+    mask = (1 << width) - 1
+    out = []
+    for i in range(num_pis):
+        block = 1 << i
+        pattern = ((1 << block) - 1) << block
+        word = 0
+        shift = 0
+        while shift < width:
+            word |= pattern << shift
+            shift += 2 * block
+        out.append(word & mask)
+    return out
+
+
+def simulate_exhaustive(net: LogicNetwork) -> List[TruthTable]:
+    """Truth table of every PO over all PIs (only for small PI counts)."""
+    k = len(net.pis)
+    if k > 20:
+        raise SimulationError(f"{k} inputs is too many for exhaustive simulation")
+    pos = simulate_pos(net, exhaustive_pi_patterns(k), 1 << k)
+    return [TruthTable(v, k) for v in pos]
+
+
+def random_patterns(num_pis: int, width: int, seed: int = 0) -> List[int]:
+    """Deterministic random W-bit stimulus, one word per PI."""
+    rng = random.Random(seed)
+    return [rng.getrandbits(width) for _ in range(num_pis)]
+
+
+def simulate_words(
+    net: LogicNetwork, words: Iterable[Sequence[int]]
+) -> List[List[int]]:
+    """Simulate integer input rows (one assignment per row).
+
+    Each row assigns one bit per PI; rows are packed into a single
+    bit-parallel run.  Returns, per row, the list of PO bits.
+    """
+    rows = [tuple(r) for r in words]
+    if not rows:
+        return []
+    npi = len(net.pis)
+    for r in rows:
+        if len(r) != npi:
+            raise SimulationError("row width does not match PI count")
+    width = len(rows)
+    pi_vecs = [0] * npi
+    for j, row in enumerate(rows):
+        for i, bit in enumerate(row):
+            if bit:
+                pi_vecs[i] |= 1 << j
+    po_vecs = simulate_pos(net, pi_vecs, width)
+    return [
+        [(v >> j) & 1 for v in po_vecs]
+        for j in range(width)
+    ]
+
+
+def eval_int(
+    net: LogicNetwork,
+    assignment: Dict[int, int] | Sequence[int],
+) -> Dict[int, int]:
+    """Single-pattern evaluation; returns {po_node: bit}.
+
+    ``assignment`` is either a dict {pi_node: bit} or a sequence aligned
+    with ``net.pis``.
+    """
+    if isinstance(assignment, dict):
+        row = [assignment[pi] for pi in net.pis]
+    else:
+        row = list(assignment)
+    bits = simulate_words(net, [row])[0]
+    return {po: bits[i] for i, po in enumerate(net.pos)}
+
+
+def node_function_on_leaves(
+    net: LogicNetwork,
+    root: int,
+    leaves: Sequence[int],
+    values_cache: Optional[Dict[int, int]] = None,
+) -> TruthTable:
+    """Truth table of *root* as a function of the given *leaves*.
+
+    Simulates the cone between the leaves and the root; the cone must not
+    reach a source node (PI/const) that is not listed as a leaf — constants
+    are fine and keep their value.
+    """
+    k = len(leaves)
+    width = 1 << k
+    mask = (1 << width) - 1
+    values: Dict[int, int] = {} if values_cache is None else values_cache
+    patterns = exhaustive_pi_patterns(k)
+    for i, leaf in enumerate(leaves):
+        values[leaf] = patterns[i]
+    values[0] = 0
+    values[1] = mask
+
+    gates = net.gates
+    fanins = net.fanins
+
+    def value_of(u: int) -> int:
+        if u in values:
+            return values[u]
+        g = gates[u]
+        if g is Gate.PI:
+            raise SimulationError(
+                f"cone of node {root} escapes leaves {tuple(leaves)} at PI {u}"
+            )
+        if is_t1_tap(g):
+            cell = fanins[u][0]
+            fins = fanins[cell]
+        else:
+            fins = fanins[u]
+        # iterative DFS to avoid recursion limits on deep cones
+        stack = [(u, g, fins, 0)]
+        while stack:
+            node, gate, nf, idx = stack[-1]
+            advanced = False
+            for j in range(idx, len(nf)):
+                f = nf[j]
+                if f not in values:
+                    fg = gates[f]
+                    if fg is Gate.PI:
+                        raise SimulationError(
+                            f"cone of node {root} escapes leaves at PI {f}"
+                        )
+                    if is_t1_tap(fg):
+                        stack[-1] = (node, gate, nf, j)
+                        stack.append((f, fg, fanins[fanins[f][0]], 0))
+                    else:
+                        stack[-1] = (node, gate, nf, j)
+                        stack.append((f, fg, fanins[f], 0))
+                    advanced = True
+                    break
+            if advanced:
+                continue
+            values[node] = eval_gate(gate, [values[f] for f in nf], mask)
+            stack.pop()
+        return values[u]
+
+    return TruthTable(value_of(root) & mask, k)

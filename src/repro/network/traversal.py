@@ -1,0 +1,129 @@
+"""Topological traversal, levels and cone extraction."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.errors import CycleError
+from repro.network.gates import Gate, is_t1_tap
+from repro.network.logic_network import LogicNetwork
+
+
+def topological_order(net: LogicNetwork) -> List[int]:
+    """All nodes in a fanin-before-fanout order (Kahn's algorithm).
+
+    Includes dead nodes; raises :class:`CycleError` on combinational loops.
+    """
+    n = net.num_nodes()
+    indeg = [0] * n
+    fanouts = net.compute_fanouts()
+    for node in range(n):
+        indeg[node] = len(net.fanins[node])
+    queue = [node for node in range(n) if indeg[node] == 0]
+    order: List[int] = []
+    head = 0
+    while head < len(queue):
+        u = queue[head]
+        head += 1
+        order.append(u)
+        for v in fanouts[u]:
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                queue.append(v)
+    if len(order) != n:
+        raise CycleError("network contains a combinational cycle")
+    return order
+
+
+def levels(net: LogicNetwork, order: Sequence[int] | None = None) -> List[int]:
+    """Logic level of every node.
+
+    Constants and PIs are level 0.  T1 taps inherit the level of their cell
+    (the cell is the clocked element; taps are free output ports).
+    """
+    if order is None:
+        order = topological_order(net)
+    lvl = [0] * net.num_nodes()
+    for node in order:
+        fins = net.fanins[node]
+        if not fins:
+            lvl[node] = 0
+        elif is_t1_tap(net.gates[node]):
+            lvl[node] = lvl[fins[0]]
+        else:
+            lvl[node] = 1 + max(lvl[f] for f in fins)
+    return lvl
+
+
+def depth(net: LogicNetwork) -> int:
+    """Maximum level over primary outputs."""
+    if not net.pos:
+        return 0
+    lvl = levels(net)
+    return max(lvl[po] for po in net.pos)
+
+
+def transitive_fanin(net: LogicNetwork, roots: Iterable[int]) -> Set[int]:
+    """All nodes in the cone of influence of *roots* (roots included)."""
+    seen: Set[int] = set()
+    stack = list(roots)
+    while stack:
+        u = stack.pop()
+        if u in seen:
+            continue
+        seen.add(u)
+        stack.extend(net.fanins[u])
+    return seen
+
+
+def transitive_fanout(net: LogicNetwork, roots: Iterable[int]) -> Set[int]:
+    """All nodes reachable from *roots* following fanout edges."""
+    fanouts = net.compute_fanouts()
+    seen: Set[int] = set()
+    stack = list(roots)
+    while stack:
+        u = stack.pop()
+        if u in seen:
+            continue
+        seen.add(u)
+        stack.extend(fanouts[u])
+    return seen
+
+
+def live_nodes(net: LogicNetwork) -> Set[int]:
+    """Nodes reachable from the POs, plus constants, PIs and T1 siblings.
+
+    A T1 cell is live if any of its taps is live; a live cell keeps all its
+    fanins alive.  PIs are always retained (interface stability).
+    """
+    seen: Set[int] = set(transitive_fanin(net, net.pos))
+    # taps keep their cell alive via fanin; a live cell does NOT by itself
+    # keep dead sibling taps alive (they are simply unused output ports).
+    seen.add(0)
+    seen.add(1)
+    seen.update(net.pis)
+    return seen
+
+
+def cone_nodes(
+    net: LogicNetwork, root: int, leaves: Set[int]
+) -> List[int]:
+    """Nodes strictly inside the cone of *root* bounded by *leaves*.
+
+    The returned list contains the internal nodes (root included, leaves
+    excluded) in reverse-DFS order.  Raises if the cone escapes the leaves
+    (i.e. reaches a PI/const not listed as leaf).
+    """
+    out: List[int] = []
+    seen: Set[int] = set()
+
+    def visit(u: int) -> None:
+        if u in leaves or u in seen:
+            return
+        seen.add(u)
+        for f in net.fanins[u]:
+            visit(f)
+        out.append(u)
+
+    visit(root)
+    return out

@@ -1,0 +1,262 @@
+"""Small truth tables packed into Python integers.
+
+A :class:`TruthTable` over ``k`` variables stores the 2**k output bits in
+an int; bit ``i`` is the function value on the input assignment whose
+binary encoding is ``i`` (variable 0 is the least significant input).
+
+Tables up to 6 variables are plenty for cut functions (the T1 flow uses
+3-input cuts); the class nevertheless supports any small k.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from repro.errors import TruthTableError
+
+MAX_VARS = 16
+
+
+def _mask(num_vars: int) -> int:
+    return (1 << (1 << num_vars)) - 1
+
+
+def var_mask(var: int, num_vars: int) -> int:
+    """Truth table (as int) of projection onto variable *var*."""
+    if not 0 <= var < num_vars:
+        raise TruthTableError(f"variable {var} out of range for {num_vars} vars")
+    block = 1 << var
+    pattern = ((1 << block) - 1) << block  # 'block' zeros then 'block' ones
+    width = 1 << num_vars
+    out = 0
+    shift = 0
+    while shift < width:
+        out |= pattern << shift
+        shift += 2 * block
+    return out & _mask(num_vars)
+
+
+@dataclass(frozen=True)
+class TruthTable:
+    """Immutable truth table of a Boolean function of ``num_vars`` inputs."""
+
+    bits: int
+    num_vars: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.num_vars <= MAX_VARS:
+            raise TruthTableError(f"num_vars must be in [0, {MAX_VARS}]")
+        if not 0 <= self.bits <= _mask(self.num_vars):
+            raise TruthTableError("bits exceed table width")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def const(value: bool, num_vars: int = 0) -> "TruthTable":
+        return TruthTable(_mask(num_vars) if value else 0, num_vars)
+
+    @staticmethod
+    def var(index: int, num_vars: int) -> "TruthTable":
+        return TruthTable(var_mask(index, num_vars), num_vars)
+
+    @staticmethod
+    def from_function(
+        fn: Callable[..., bool], num_vars: int
+    ) -> "TruthTable":
+        bits = 0
+        for row in range(1 << num_vars):
+            args = [(row >> v) & 1 for v in range(num_vars)]
+            if fn(*args):
+                bits |= 1 << row
+        return TruthTable(bits, num_vars)
+
+    @staticmethod
+    def from_bits(bit_list: Sequence[int]) -> "TruthTable":
+        n = len(bit_list)
+        num_vars = n.bit_length() - 1
+        if 1 << num_vars != n:
+            raise TruthTableError("bit list length must be a power of two")
+        bits = 0
+        for i, b in enumerate(bit_list):
+            if b:
+                bits |= 1 << i
+        return TruthTable(bits, num_vars)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return 1 << self.num_vars
+
+    @property
+    def mask(self) -> int:
+        return _mask(self.num_vars)
+
+    def value(self, assignment: int) -> int:
+        """Function value on the input row *assignment* (an int < 2**k)."""
+        if not 0 <= assignment < self.width:
+            raise TruthTableError("assignment out of range")
+        return (self.bits >> assignment) & 1
+
+    def count_ones(self) -> int:
+        return bin(self.bits).count("1")
+
+    def is_const(self) -> bool:
+        return self.bits in (0, self.mask)
+
+    def depends_on(self, var: int) -> bool:
+        """True if the function actually depends on variable *var*."""
+        vm = var_mask(var, self.num_vars)
+        block = 1 << var
+        hi = (self.bits & vm) >> block
+        lo = self.bits & (vm >> block)
+        return hi != lo
+
+    def support(self) -> Tuple[int, ...]:
+        return tuple(v for v in range(self.num_vars) if self.depends_on(v))
+
+    # -- operators ----------------------------------------------------------
+
+    def _check(self, other: "TruthTable") -> None:
+        if self.num_vars != other.num_vars:
+            raise TruthTableError("mixing truth tables of different arity")
+
+    def __invert__(self) -> "TruthTable":
+        return TruthTable(self.bits ^ self.mask, self.num_vars)
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.bits & other.bits, self.num_vars)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.bits | other.bits, self.num_vars)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.bits ^ other.bits, self.num_vars)
+
+    # -- transforms ----------------------------------------------------------
+
+    def permute(self, perm: Sequence[int]) -> "TruthTable":
+        """Relabel variables: new variable ``perm[i]`` <- old variable ``i``.
+
+        ``perm`` must be a permutation of ``range(num_vars)``.  The result g
+        satisfies ``g(x_{perm[0]}, ..)``... concretely
+        ``g.value(row) == self.value(row')`` where bit ``i`` of ``row'`` is
+        bit ``perm[i]`` of ``row``.
+        """
+        if sorted(perm) != list(range(self.num_vars)):
+            raise TruthTableError("not a permutation")
+        out = 0
+        for row in range(self.width):
+            src = 0
+            for i in range(self.num_vars):
+                if (row >> perm[i]) & 1:
+                    src |= 1 << i
+            if (self.bits >> src) & 1:
+                out |= 1 << row
+        return TruthTable(out, self.num_vars)
+
+    def negate_var(self, var: int) -> "TruthTable":
+        """Substitute ``x_var -> NOT x_var``."""
+        block = 1 << var
+        vm = var_mask(var, self.num_vars)
+        hi = self.bits & vm
+        lo = self.bits & ~vm & self.mask
+        return TruthTable(((hi >> block) | (lo << block)) & self.mask, self.num_vars)
+
+    def negate_vars(self, polarity: int) -> "TruthTable":
+        """Negate every variable whose bit is set in *polarity*."""
+        tt = self
+        for v in range(self.num_vars):
+            if (polarity >> v) & 1:
+                tt = tt.negate_var(v)
+        return tt
+
+    def extend(self, num_vars: int) -> "TruthTable":
+        """Pad with dummy trailing variables (function unchanged)."""
+        if num_vars < self.num_vars:
+            raise TruthTableError("cannot shrink; use shrink_to_support")
+        bits = self.bits
+        width = 1 << self.num_vars
+        for _ in range(num_vars - self.num_vars):
+            bits = bits | (bits << width)
+            width *= 2
+        return TruthTable(bits & _mask(num_vars), num_vars)
+
+    def remap(self, positions: Sequence[int], num_vars: int) -> "TruthTable":
+        """Re-express over a superset of variables.
+
+        Old variable ``i`` becomes new variable ``positions[i]``; all other
+        new variables are don't-care (function does not depend on them).
+        """
+        if len(positions) != self.num_vars:
+            raise TruthTableError("positions length mismatch")
+        out = 0
+        for row in range(1 << num_vars):
+            src = 0
+            for i, p in enumerate(positions):
+                if (row >> p) & 1:
+                    src |= 1 << i
+            if (self.bits >> src) & 1:
+                out |= 1 << row
+        return TruthTable(out, num_vars)
+
+    def shrink_to_support(self) -> "TruthTable":
+        """Drop variables the function does not depend on."""
+        sup = self.support()
+        if len(sup) == self.num_vars:
+            return self
+        out = 0
+        for row in range(1 << len(sup)):
+            src = 0
+            for i, v in enumerate(sup):
+                if (row >> i) & 1:
+                    src |= 1 << v
+            if (self.bits >> src) & 1:
+                out |= 1 << row
+        return TruthTable(out, len(sup))
+
+    def cofactor(self, var: int, value: int) -> "TruthTable":
+        """Shannon cofactor w.r.t. ``x_var = value`` (arity unchanged)."""
+        vm = var_mask(var, self.num_vars)
+        block = 1 << var
+        if value:
+            half = self.bits & vm
+            return TruthTable(half | (half >> block), self.num_vars)
+        half = self.bits & ~vm & self.mask
+        return TruthTable(half | (half << block) & self.mask | half, self.num_vars)
+
+    # -- misc ----------------------------------------------------------------
+
+    def to_hex(self) -> str:
+        digits = max(1, self.width // 4)
+        return format(self.bits, f"0{digits}x")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"tt{self.num_vars}:0x{self.to_hex()}"
+
+
+# -- common 3-input functions used by the T1 matcher ------------------------
+
+def xor3_tt() -> TruthTable:
+    """XOR3 (T1 sum output): 0x96."""
+    return TruthTable.from_function(lambda a, b, c: a ^ b ^ c, 3)
+
+
+def maj3_tt() -> TruthTable:
+    """MAJ3 (T1 carry output): 0xE8."""
+    return TruthTable.from_function(lambda a, b, c: (a + b + c) >= 2, 3)
+
+
+def or3_tt() -> TruthTable:
+    """OR3 (T1 Q output): 0xFE."""
+    return TruthTable.from_function(lambda a, b, c: bool(a | b | c), 3)
+
+
+def and3_tt() -> TruthTable:
+    """AND3: 0x80 (== NOR3 of negated inputs)."""
+    return TruthTable.from_function(lambda a, b, c: bool(a & b & c), 3)

@@ -1,0 +1,6 @@
+"""Tiny CDCL SAT solver + CNF utilities (used by CEC and the CP layer)."""
+
+from repro.sat.cnf import CnfBuilder, to_dimacs
+from repro.sat.solver import SatSolver, SatStatus, solve_cnf
+
+__all__ = ["CnfBuilder", "SatSolver", "SatStatus", "solve_cnf", "to_dimacs"]

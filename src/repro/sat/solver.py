@@ -1,0 +1,279 @@
+"""A CDCL SAT solver (watched literals, 1UIP learning, VSIDS, restarts).
+
+Small but complete: enough to decide equivalence miters of the mid-size
+networks used in the test-suite.  The API mirrors what the rest of the
+library needs — construct with a clause list, call :meth:`solve`, read
+:meth:`model`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SolverError
+
+
+class SatStatus(enum.Enum):
+    """Solver outcome: SAT / UNSAT / UNKNOWN (limit hit)."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
+
+class SatSolver:
+    """CDCL solver over variables ``1..num_vars``."""
+
+    def __init__(self, num_vars: int, clauses: Sequence[Sequence[int]]):
+        self.num_vars = num_vars
+        self.clauses: List[List[int]] = []
+        # assignment state
+        self.assign: List[int] = [_UNASSIGNED] * (num_vars + 1)
+        self.level: List[int] = [0] * (num_vars + 1)
+        self.reason: List[Optional[List[int]]] = [None] * (num_vars + 1)
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.qhead = 0
+        # two-literal watching: watches[lit] = clause indices watching lit
+        self.watches: Dict[int, List[List[int]]] = {}
+        # VSIDS
+        self.activity: List[float] = [0.0] * (num_vars + 1)
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self._status = SatStatus.UNKNOWN
+        self._conflicts = 0
+        self._units: List[int] = []
+        ok = True
+        for clause in clauses:
+            if not self._add_clause(list(clause)):
+                ok = False
+                break
+        self._trivially_unsat = not ok
+
+    # -- construction ------------------------------------------------------------
+
+    def _watch(self, lit: int, clause: List[int]) -> None:
+        self.watches.setdefault(lit, []).append(clause)
+
+    def _add_clause(self, clause: List[int]) -> bool:
+        clause = list(dict.fromkeys(clause))  # dedupe
+        if any(-l in clause for l in clause):
+            return True  # tautology
+        if not clause:
+            return False
+        if len(clause) == 1:
+            self._units.append(clause[0])
+            return True
+        self.clauses.append(clause)
+        self._watch(clause[0], clause)
+        self._watch(clause[1], clause)
+        return True
+
+    # -- assignment helpers ---------------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        v = self.assign[abs(lit)]
+        if v == _UNASSIGNED:
+            return _UNASSIGNED
+        return v if lit > 0 else -v
+
+    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> bool:
+        val = self._value(lit)
+        if val == _TRUE:
+            return True
+        if val == _FALSE:
+            return False
+        var = abs(lit)
+        self.assign[var] = _TRUE if lit > 0 else _FALSE
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[List[int]]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            neg = -lit
+            watch_list = self.watches.get(neg)
+            if not watch_list:
+                continue
+            i = 0
+            while i < len(watch_list):
+                clause = watch_list[i]
+                # normalise: watched literals in positions 0/1
+                if clause[0] == neg:
+                    clause[0], clause[1] = clause[1], clause[0]
+                if self._value(clause[0]) == _TRUE:
+                    i += 1
+                    continue
+                # search replacement watch
+                found = False
+                for j in range(2, len(clause)):
+                    if self._value(clause[j]) != _FALSE:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        self._watch(clause[1], clause)
+                        watch_list[i] = watch_list[-1]
+                        watch_list.pop()
+                        found = True
+                        break
+                if found:
+                    continue
+                # clause is unit or conflicting
+                if not self._enqueue(clause[0], clause):
+                    return clause
+                i += 1
+        return None
+
+    # -- conflict analysis -------------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, conflict: List[int]) -> tuple[List[int], int]:
+        """1UIP learning; returns (learnt clause, backjump level)."""
+        learnt: List[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = None
+        clause: Optional[List[int]] = conflict
+        index = len(self.trail) - 1
+        cur_level = len(self.trail_lim)
+        while True:
+            assert clause is not None
+            for q in clause:
+                if lit is not None and abs(q) == abs(lit):
+                    continue  # skip the resolved variable itself
+                var = abs(q)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # pick next literal from trail
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            lit = -self.trail[index]
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            clause = self.reason[var]
+        learnt.insert(0, lit)
+        if len(learnt) == 1:
+            return learnt, 0
+        back = max(self.level[abs(q)] for q in learnt[1:])
+        # position a literal of backjump level at index 1
+        for j in range(1, len(learnt)):
+            if self.level[abs(learnt[j])] == back:
+                learnt[1], learnt[j] = learnt[j], learnt[1]
+                break
+        return learnt, back
+
+    def _backtrack(self, target_level: int) -> None:
+        while len(self.trail_lim) > target_level:
+            lim = self.trail_lim.pop()
+            while len(self.trail) > lim:
+                lit = self.trail.pop()
+                var = abs(lit)
+                self.assign[var] = _UNASSIGNED
+                self.reason[var] = None
+        self.qhead = min(self.qhead, len(self.trail))
+
+    def _decide(self) -> Optional[int]:
+        best = None
+        best_act = -1.0
+        for v in range(1, self.num_vars + 1):
+            if self.assign[v] == _UNASSIGNED and self.activity[v] > best_act:
+                best = v
+                best_act = self.activity[v]
+        if best is None:
+            return None
+        return -best  # negative phase first (works well on miters)
+
+    # -- main loop ----------------------------------------------------------------------
+
+    def solve(self, conflict_limit: int = 10_000_000) -> SatStatus:
+        if self._trivially_unsat:
+            self._status = SatStatus.UNSAT
+            return self._status
+        for u in self._units:
+            if not self._enqueue(u, None):
+                self._status = SatStatus.UNSAT
+                return self._status
+        if self._propagate() is not None:
+            self._status = SatStatus.UNSAT
+            return self._status
+        restart_interval = 256
+        conflicts_since_restart = 0
+        root_trail = len(self.trail)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self._conflicts += 1
+                conflicts_since_restart += 1
+                if len(self.trail_lim) == 0:
+                    self._status = SatStatus.UNSAT
+                    return self._status
+                learnt, back = self._analyze(conflict)
+                self._backtrack(back)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self._status = SatStatus.UNSAT
+                        return self._status
+                else:
+                    self.clauses.append(learnt)
+                    self._watch(learnt[0], learnt)
+                    self._watch(learnt[1], learnt)
+                    self._enqueue(learnt[0], learnt)
+                self.var_inc /= self.var_decay
+                if self._conflicts >= conflict_limit:
+                    self._status = SatStatus.UNKNOWN
+                    return self._status
+                if conflicts_since_restart >= restart_interval:
+                    conflicts_since_restart = 0
+                    restart_interval = int(restart_interval * 1.5)
+                    self._backtrack(0)
+            else:
+                lit = self._decide()
+                if lit is None:
+                    self._status = SatStatus.SAT
+                    return self._status
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, None)
+
+    # -- results ---------------------------------------------------------------------------
+
+    def model(self) -> List[bool]:
+        """Assignment indexed by variable (index 0 unused)."""
+        if self._status is not SatStatus.SAT:
+            raise SolverError("model() requires a SAT result")
+        return [v == _TRUE for v in self.assign]
+
+
+def solve_cnf(
+    num_vars: int,
+    clauses: Sequence[Sequence[int]],
+    conflict_limit: int = 10_000_000,
+) -> tuple[SatStatus, Optional[List[bool]]]:
+    """Convenience one-shot API."""
+    solver = SatSolver(num_vars, clauses)
+    status = solver.solve(conflict_limit=conflict_limit)
+    if status is SatStatus.SAT:
+        return status, solver.model()
+    return status, None

@@ -1,0 +1,122 @@
+"""RSFQ cell library: JJ cost model.
+
+The paper reports area as a Josephson-junction (JJ) count, i.e. a linear
+sum of per-cell costs taken from an RSFQ standard cell library (ref. [6],
+Yorozu et al.).  That library is not redistributable, so this module
+defines an explicit, documented cost model pinned to the paper's two
+anchor facts:
+
+* the T1-based full adder costs **29 JJ** (§I-A);
+* 29 JJ is **~40 %** of the conventional XOR3 + MAJ3 + splitters
+  realisation (\"60 % fewer\"), which therefore costs ~72-75 JJ.
+
+Individual 2-input clocked gate costs follow the usual RSFQ ballpark
+(8-14 JJ); DFF = 6 JJ and splitter = 3 JJ are the standard textbook
+numbers (Krylov & Friedman).  Absolute JJ counts in Table I depend on
+these constants, but every ratio the paper reports is pinned by the
+anchors above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import MappingError
+from repro.network.gates import Gate
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One library cell."""
+
+    name: str
+    jj_count: int
+    clocked: bool
+    description: str = ""
+
+
+#: cost of one path-balancing / staggering D flip-flop
+DFF_SPEC = CellSpec("DFF", 6, True, "destructive-readout D flip-flop")
+#: cost of one splitter (1-to-2 pulse fanout element)
+SPLITTER_SPEC = CellSpec("SPLIT", 3, False, "pulse splitter")
+#: Josephson transmission line segment (wiring buffer); free in our model
+JTL_SPEC = CellSpec("JTL", 0, False, "JTL wiring (not charged)")
+#: the extended T1 flip-flop configured as a multi-output adder cell
+T1_SPEC = CellSpec(
+    "T1",
+    29,
+    True,
+    "T1 flip-flop full-adder configuration (S/C/Q synchronous outputs)",
+)
+
+
+class CellLibrary:
+    """Maps (gate kind, arity) to a :class:`CellSpec`."""
+
+    def __init__(
+        self,
+        gate_cells: Dict[Tuple[Gate, int], CellSpec],
+        dff: CellSpec = DFF_SPEC,
+        splitter: CellSpec = SPLITTER_SPEC,
+        t1: CellSpec = T1_SPEC,
+        jtl: CellSpec = JTL_SPEC,
+    ):
+        self.gate_cells = dict(gate_cells)
+        self.dff = dff
+        self.splitter = splitter
+        self.t1 = t1
+        self.jtl = jtl
+
+    def cell_for(self, gate: Gate, arity: int) -> CellSpec:
+        spec = self.gate_cells.get((gate, arity))
+        if spec is None:
+            raise MappingError(
+                f"no library cell for {gate.name} with {arity} fanins"
+            )
+        return spec
+
+    def has_cell(self, gate: Gate, arity: int) -> bool:
+        return (gate, arity) in self.gate_cells
+
+    def gate_area(self, gate: Gate, arity: int) -> int:
+        return self.cell_for(gate, arity).jj_count
+
+    def max_arity(self, gate: Gate) -> int:
+        arities = [a for (g, a) in self.gate_cells if g is gate]
+        if not arities:
+            raise MappingError(f"gate {gate.name} not in library")
+        return max(arities)
+
+
+def default_library() -> CellLibrary:
+    """The cost model described in the module docstring."""
+    cells = {
+        (Gate.NOT, 1): CellSpec("NOT", 9, True, "clocked inverter"),
+        (Gate.AND, 2): CellSpec("AND2", 10, True),
+        (Gate.AND, 3): CellSpec("AND3", 16, True),
+        (Gate.OR, 2): CellSpec("OR2", 12, True),
+        (Gate.OR, 3): CellSpec("OR3", 18, True),
+        (Gate.XOR, 2): CellSpec("XOR2", 11, True),
+        (Gate.XOR, 3): CellSpec("XOR3", 30, True, "compound 3-input XOR"),
+        (Gate.NAND, 2): CellSpec("NAND2", 13, True),
+        (Gate.NOR, 2): CellSpec("NOR2", 14, True),
+        (Gate.XNOR, 2): CellSpec("XNOR2", 13, True),
+        (Gate.MAJ3, 3): CellSpec("MAJ3", 36, True, "compound 3-input majority"),
+    }
+    return CellLibrary(cells)
+
+
+def conventional_full_adder_area(lib: Optional[CellLibrary] = None) -> int:
+    """Area of the conventional FA: XOR3 + MAJ3 + 3 input splitters.
+
+    With the default library this is 30 + 36 + 3*3 = 75 JJ, making the
+    29-JJ T1 realisation ~39 % — the paper's \"40 % of the area\" /
+    \"60 % fewer\" claim.
+    """
+    lib = lib or default_library()
+    return (
+        lib.gate_area(Gate.XOR, 3)
+        + lib.gate_area(Gate.MAJ3, 3)
+        + 3 * lib.splitter.jj_count
+    )

@@ -1,0 +1,119 @@
+"""Clock distribution network synthesis and accounting.
+
+The paper (like most SFQ mapping papers) reports logic + path-balancing
+area only; the clock network is a constant factor left to physical
+design.  This module makes that factor measurable: in an n-phase system
+every clocked cell must receive one of n phase-shifted clock pulse
+streams, each distributed by a binary splitter tree from its phase
+source.
+
+For a phase with s sinks the tree needs s − 1 splitters and has depth
+⌈log2 s⌉; each tree level adds JTL delay, reported as a skew-depth
+estimate.  ``clock_network_area`` can be added to the logic area for a
+"physical" Table-I variant (see the optional columns in
+``repro.metrics``-level helpers below).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sfq.cell_library import CellLibrary, default_library
+from repro.sfq.netlist import CellKind, SFQNetlist
+
+
+@dataclass(frozen=True)
+class PhaseTree:
+    """Clock tree of one phase."""
+
+    phase: int
+    sinks: int
+    splitters: int
+    depth: int
+
+
+@dataclass
+class ClockPlan:
+    """Clock networks of all phases of one netlist."""
+
+    n_phases: int
+    trees: List[PhaseTree] = field(default_factory=list)
+
+    @property
+    def total_splitters(self) -> int:
+        return sum(t.splitters for t in self.trees)
+
+    @property
+    def total_sinks(self) -> int:
+        return sum(t.sinks for t in self.trees)
+
+    @property
+    def max_depth(self) -> int:
+        return max((t.depth for t in self.trees), default=0)
+
+    def area_jj(self, library: Optional[CellLibrary] = None) -> int:
+        library = library or default_library()
+        return self.total_splitters * library.splitter.jj_count
+
+    def summary(self) -> str:
+        per_phase = ", ".join(
+            f"φ{t.phase}:{t.sinks} sinks/{t.splitters} spl" for t in self.trees
+        )
+        return (
+            f"{self.n_phases}-phase clock network: {self.total_sinks} sinks, "
+            f"{self.total_splitters} splitters "
+            f"(max tree depth {self.max_depth}); {per_phase}"
+        )
+
+
+def plan_clock_network(netlist: SFQNetlist) -> ClockPlan:
+    """Plan the per-phase clock splitter trees for a staged netlist.
+
+    Every clocked cell (gates, T1 cells, DFFs) is a sink of the tree of
+    its phase φ = σ mod n.  Cells must already carry stages.
+    """
+    n = netlist.n_phases
+    sinks: Dict[int, int] = {p: 0 for p in range(n)}
+    for cell in netlist.cells:
+        if not cell.clocked:
+            continue
+        assert cell.stage is not None, "stage assignment must run first"
+        sinks[cell.stage % n] += 1
+    trees = []
+    for phase in range(n):
+        s = sinks[phase]
+        trees.append(
+            PhaseTree(
+                phase=phase,
+                sinks=s,
+                splitters=max(0, s - 1),
+                depth=math.ceil(math.log2(s)) if s > 1 else 0,
+            )
+        )
+    return ClockPlan(n_phases=n, trees=trees)
+
+
+def total_area_with_clock(
+    netlist: SFQNetlist, library: Optional[CellLibrary] = None
+) -> int:
+    """Logic + balancing + splitter area *plus* the clock network."""
+    from repro.metrics import area_jj
+
+    library = library or default_library()
+    return area_jj(netlist, library) + plan_clock_network(netlist).area_jj(
+        library
+    )
+
+
+def clock_overhead_ratio(
+    netlist: SFQNetlist, library: Optional[CellLibrary] = None
+) -> float:
+    """Clock-network share of the total (clock-inclusive) area."""
+    from repro.metrics import area_jj
+
+    library = library or default_library()
+    logic = area_jj(netlist, library)
+    clock = plan_clock_network(netlist).area_jj(library)
+    return clock / (logic + clock) if (logic + clock) else 0.0

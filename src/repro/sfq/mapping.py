@@ -1,0 +1,164 @@
+"""Technology mapping: logic network → SFQ netlist.
+
+The mapping is structural and 1:1 (the gate alphabet *is* the cell
+library): every logic node becomes one clocked cell, T1 blocks become T1
+cells, and the five T1 taps become port reads (S/C/Q) plus an explicit
+clocked inverter for the negated taps (C*/Q* + NOT, as in §I-A of the
+paper).  BUFs map to free JTL wiring (pass-through).
+
+Constant fanins are rejected — run :func:`repro.network.cleanup.strash`
+first; n-ary gates wider than the library are decomposed by
+:func:`decompose_to_library`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MappingError
+from repro.network.gates import Gate, is_t1_tap
+from repro.network.logic_network import CONST0, CONST1, LogicNetwork
+from repro.network.traversal import topological_order
+from repro.sfq.cell_library import CellLibrary, default_library
+from repro.sfq.netlist import OUT, SFQNetlist, Signal
+
+
+def decompose_to_library(
+    net: LogicNetwork, library: Optional[CellLibrary] = None
+) -> LogicNetwork:
+    """Rewrite n-ary AND/OR/XOR wider than the library into balanced trees.
+
+    Inverted gates (NAND/NOR/XNOR) decompose into the positive tree with
+    the top node inverted-kind when available.
+    """
+    library = library or default_library()
+    out = LogicNetwork(net.name)
+    mapping: Dict[int, int] = {CONST0: CONST0, CONST1: CONST1}
+    for pi in net.pis:
+        mapping[pi] = out.add_pi(net.get_name(pi))
+
+    base_of = {
+        Gate.NAND: Gate.AND,
+        Gate.NOR: Gate.OR,
+        Gate.XNOR: Gate.XOR,
+    }
+
+    def tree(gate: Gate, fins: List[int], max_arity: int) -> int:
+        while len(fins) > max_arity:
+            grouped: List[int] = []
+            for i in range(0, len(fins), max_arity):
+                chunk = fins[i : i + max_arity]
+                if len(chunk) == 1:
+                    grouped.append(chunk[0])
+                else:
+                    grouped.append(out.add_gate(gate, chunk))
+            fins = grouped
+        return out.add_gate(gate, fins) if len(fins) > 1 else fins[0]
+
+    for node in topological_order(net):
+        if node in mapping:
+            continue
+        g = net.gates[node]
+        if g is Gate.PI:
+            continue
+        fins = [mapping[f] for f in net.fanins[node]]
+        if g is Gate.T1_CELL:
+            mapping[node] = out.add_t1_cell(*fins)
+        elif is_t1_tap(g):
+            mapping[node] = out.add_t1_tap(fins[0], g)
+        elif g in (Gate.AND, Gate.OR, Gate.XOR) and not library.has_cell(
+            g, len(fins)
+        ):
+            mapping[node] = tree(g, fins, library.max_arity(g))
+        elif g in base_of and not library.has_cell(g, len(fins)):
+            base = base_of[g]
+            top = tree(base, fins, library.max_arity(base))
+            mapping[node] = out.add_not(top)
+        else:
+            mapping[node] = out.add_gate(g, tuple(fins))
+    for po, name in zip(net.pos, net.po_names):
+        out.add_po(mapping[po], name)
+    return out
+
+
+def map_to_sfq(
+    net: LogicNetwork,
+    n_phases: int = 1,
+    library: Optional[CellLibrary] = None,
+) -> Tuple[SFQNetlist, Dict[int, Signal]]:
+    """Map a logic network onto an :class:`SFQNetlist`.
+
+    Returns ``(netlist, node_to_signal)`` where ``node_to_signal`` gives
+    the netlist signal carrying each live logic node's value.
+    """
+    library = library or default_library()
+    netlist = SFQNetlist(net.name, n_phases=n_phases)
+    sig: Dict[int, Signal] = {}
+
+    for pi in net.pis:
+        sig[pi] = (netlist.add_pi(net.get_name(pi)), OUT)
+
+    order = topological_order(net)
+    used = _used_nodes(net)
+    for node in order:
+        if node in sig or node not in used:
+            continue
+        g = net.gates[node]
+        if g is Gate.PI:
+            continue
+        if g in (Gate.CONST0, Gate.CONST1):
+            continue  # only referenced constants raise below
+        fins = net.fanins[node]
+        for f in fins:
+            if f in (CONST0, CONST1):
+                raise MappingError(
+                    f"node {node} has constant fanin; run strash() before mapping"
+                )
+        if g is Gate.BUF:
+            sig[node] = sig[fins[0]]  # free JTL
+            continue
+        if g is Gate.T1_CELL:
+            a, b, c = (sig[f] for f in fins)
+            cell = netlist.add_t1(a, b, c, name=net.get_name(node))
+            sig[node] = (cell, "S")  # placeholder; taps select real ports
+            continue
+        if is_t1_tap(g):
+            cell = sig[fins[0]][0]
+            if g is Gate.T1_S:
+                sig[node] = (cell, "S")
+            elif g is Gate.T1_C:
+                sig[node] = (cell, "C")
+            elif g is Gate.T1_Q:
+                sig[node] = (cell, "Q")
+            elif g is Gate.T1_CN:
+                inv = netlist.add_gate(Gate.NOT, [(cell, "C")])
+                sig[node] = (inv, OUT)
+            else:  # T1_QN
+                inv = netlist.add_gate(Gate.NOT, [(cell, "Q")])
+                sig[node] = (inv, OUT)
+            continue
+        spec = library.cell_for(g, len(fins))  # raises if unmappable
+        assert spec.clocked
+        cell = netlist.add_gate(
+            g, [sig[f] for f in fins], name=net.get_name(node)
+        )
+        sig[node] = (cell, OUT)
+
+    const_cells: Dict[int, Signal] = {}
+    for po, name in zip(net.pos, net.po_names):
+        if po in (CONST0, CONST1):
+            if po not in const_cells:
+                const_cells[po] = (netlist.add_const(po == CONST1), OUT)
+            netlist.add_po(const_cells[po], name)
+            continue
+        netlist.add_po(sig[po], name)
+    return netlist, sig
+
+
+def _used_nodes(net: LogicNetwork) -> set:
+    """Nodes reachable from POs (plus PIs)."""
+    from repro.network.traversal import transitive_fanin
+
+    used = set(transitive_fanin(net, net.pos))
+    used.update(net.pis)
+    return used

@@ -1,0 +1,214 @@
+"""Mapped SFQ netlist: clocked cells, T1 blocks, DFF chains, stages.
+
+This is the object the paper's stages B and C operate on.  Differences
+from :class:`~repro.network.logic_network.LogicNetwork`:
+
+* cells may have multiple output *ports* (the T1 cell exposes S, C, Q);
+* every clocked cell carries a *stage* σ = n·S + φ (eq. 1 of the paper);
+* DFF cells exist explicitly (inserted by stage C);
+* splitters are not materialised as cells — a net with f consumers needs
+  exactly f − 1 splitters regardless of where its DFF chain taps sit, so
+  the metric layer counts them combinatorially (see
+  :func:`repro.metrics.area_jj`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import MappingError, NetworkError
+from repro.network.gates import Gate
+
+#: a signal is one output port of one cell
+Signal = Tuple[int, str]
+
+OUT = "out"  # default single output port
+T1_PORTS = ("S", "C", "Q")
+SPLITTER_PORTS = ("o0", "o1")
+
+
+class CellKind(enum.Enum):
+    """Kinds of netlist elements (clocked: GATE, T1, DFF)."""
+
+    PI = "pi"
+    GATE = "gate"
+    T1 = "t1"
+    DFF = "dff"
+    CONST0 = "const0"  # never pulses (logic 0 = pulse absence)
+    CONST1 = "const1"  # pulses once per cycle at stage 0
+    SPLITTER = "splitter"  # asynchronous 1-to-2 pulse fanout
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CellKind.{self.name}"
+
+
+@dataclass
+class Cell:
+    """One netlist element."""
+
+    index: int
+    kind: CellKind
+    op: Optional[Gate] = None  # for GATE cells
+    fanins: Tuple[Signal, ...] = ()
+    stage: Optional[int] = None
+    name: Optional[str] = None
+
+    @property
+    def clocked(self) -> bool:
+        return self.kind in (CellKind.GATE, CellKind.T1, CellKind.DFF)
+
+    def output_ports(self) -> Tuple[str, ...]:
+        if self.kind is CellKind.T1:
+            return T1_PORTS
+        if self.kind is CellKind.SPLITTER:
+            return SPLITTER_PORTS
+        return (OUT,)
+
+
+class SFQNetlist:
+    """Mutable mapped netlist."""
+
+    def __init__(self, name: str = "top", n_phases: int = 1):
+        self.name = name
+        self.n_phases = n_phases
+        self.cells: List[Cell] = []
+        self.pis: List[int] = []
+        self.pos: List[Tuple[Signal, Optional[str]]] = []
+
+    # -- construction -------------------------------------------------------
+
+    def _add(self, cell: Cell) -> int:
+        self.cells.append(cell)
+        return cell.index
+
+    def add_pi(self, name: Optional[str] = None) -> int:
+        idx = len(self.cells)
+        self._add(Cell(idx, CellKind.PI, stage=0, name=name))
+        self.pis.append(idx)
+        return idx
+
+    def add_const(self, value: bool) -> int:
+        """A constant source (used only for constant primary outputs)."""
+        idx = len(self.cells)
+        kind = CellKind.CONST1 if value else CellKind.CONST0
+        return self._add(Cell(idx, kind, stage=0))
+
+    def add_gate(self, op: Gate, fanins: Sequence[Signal], name=None) -> int:
+        idx = len(self.cells)
+        self._check_signals(fanins)
+        return self._add(
+            Cell(idx, CellKind.GATE, op=op, fanins=tuple(fanins), name=name)
+        )
+
+    def add_t1(self, a: Signal, b: Signal, c: Signal, name=None) -> int:
+        idx = len(self.cells)
+        self._check_signals((a, b, c))
+        return self._add(Cell(idx, CellKind.T1, fanins=(a, b, c), name=name))
+
+    def add_dff(self, fanin: Signal, stage: Optional[int] = None) -> int:
+        idx = len(self.cells)
+        self._check_signals((fanin,))
+        return self._add(Cell(idx, CellKind.DFF, fanins=(fanin,), stage=stage))
+
+    def add_po(self, signal: Signal, name: Optional[str] = None) -> int:
+        self._check_signals((signal,))
+        self.pos.append((signal, name))
+        return len(self.pos) - 1
+
+    def _check_signals(self, signals: Sequence[Signal]) -> None:
+        for cell_id, port in signals:
+            if not 0 <= cell_id < len(self.cells):
+                raise NetworkError(f"signal references missing cell {cell_id}")
+            cell = self.cells[cell_id]
+            if port not in cell.output_ports():
+                raise NetworkError(
+                    f"cell {cell_id} ({cell.kind.name}) has no port {port!r}"
+                )
+
+    # -- queries --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def clocked_cells(self) -> Iterator[Cell]:
+        return (c for c in self.cells if c.clocked)
+
+    def gate_cells(self) -> Iterator[Cell]:
+        return (c for c in self.cells if c.kind is CellKind.GATE)
+
+    def t1_cells(self) -> Iterator[Cell]:
+        return (c for c in self.cells if c.kind is CellKind.T1)
+
+    def dff_cells(self) -> Iterator[Cell]:
+        return (c for c in self.cells if c.kind is CellKind.DFF)
+
+    def num_dffs(self) -> int:
+        return sum(1 for _ in self.dff_cells())
+
+    def consumers(self) -> Dict[Signal, List[int]]:
+        """signal -> consumer cell ids (POs contribute id -1)."""
+        out: Dict[Signal, List[int]] = {}
+        for cell in self.cells:
+            for sig in cell.fanins:
+                out.setdefault(sig, []).append(cell.index)
+        for sig, _name in self.pos:
+            out.setdefault(sig, []).append(-1)
+        return out
+
+    def driver_cell(self, signal: Signal) -> Cell:
+        return self.cells[signal[0]]
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """(driver cell, consumer cell) pairs over all fanin signals."""
+        for cell in self.cells:
+            for sig in cell.fanins:
+                yield sig[0], cell.index
+
+    def max_stage(self) -> int:
+        stages = [c.stage for c in self.cells if c.clocked and c.stage is not None]
+        return max(stages) if stages else 0
+
+    def topological_cells(self) -> List[int]:
+        n = len(self.cells)
+        indeg = [0] * n
+        fanouts: List[List[int]] = [[] for _ in range(n)]
+        for cell in self.cells:
+            indeg[cell.index] = len(cell.fanins)
+            for sig in cell.fanins:
+                fanouts[sig[0]].append(cell.index)
+        queue = [i for i in range(n) if indeg[i] == 0]
+        order: List[int] = []
+        head = 0
+        while head < len(queue):
+            u = queue[head]
+            head += 1
+            order.append(u)
+            for v in fanouts[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    queue.append(v)
+        if len(order) != n:
+            raise NetworkError("netlist contains a cycle")
+        return order
+
+    def stats(self) -> Dict[str, int]:
+        from collections import Counter
+
+        kinds = Counter(c.kind.name for c in self.cells)
+        return {
+            "cells": len(self.cells),
+            "gates": kinds.get("GATE", 0),
+            "t1": kinds.get("T1", 0),
+            "dffs": kinds.get("DFF", 0),
+            "pis": len(self.pis),
+            "pos": len(self.pos),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        s = self.stats()
+        return (
+            f"SFQNetlist({self.name!r}, n={self.n_phases}, gates={s['gates']}, "
+            f"t1={s['t1']}, dffs={s['dffs']})"
+        )

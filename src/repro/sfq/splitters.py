@@ -1,0 +1,113 @@
+"""Explicit splitter-tree materialisation.
+
+SFQ pulses cannot drive more than one input: a net with f consumers needs
+a tree of f − 1 one-to-two splitter cells.  The metric layer counts them
+combinatorially (:func:`repro.metrics.count_splitters`); this pass makes
+them *physical*: every multi-consumer signal is rewritten through a
+balanced binary splitter tree, after which each signal drives exactly one
+input.
+
+Splitters are asynchronous (no clock, no stage); timing and simulation
+treat them as transparent.  Materialisation is therefore purely
+structural — it never changes DFF counts, stages or functionality — and
+is validated against the combinatorial formula in the tests.
+
+Run it after DFF insertion when a physical-design-ready netlist is
+needed (e.g. for the DOT export or splitter-depth analysis)::
+
+    report = materialize_splitters(netlist)
+    report.splitters_added   # == the f-1 formula over the pre-pass nets
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import NetworkError
+from repro.sfq.netlist import Cell, CellKind, OUT, SFQNetlist, Signal
+
+
+@dataclass
+class SplitterReport:
+    """Result of one materialisation pass."""
+
+    splitters_added: int = 0
+    max_tree_depth: int = 0
+    trees: Dict[Signal, int] = field(default_factory=dict)  # root sig -> size
+
+
+def _consumer_slots(netlist: SFQNetlist) -> Dict[Signal, List[Tuple[int, int]]]:
+    """signal -> [(cell, fanin index)] plus PO slots as (-1, po index)."""
+    out: Dict[Signal, List[Tuple[int, int]]] = {}
+    for cell in netlist.cells:
+        for i, sig in enumerate(cell.fanins):
+            out.setdefault(sig, []).append((cell.index, i))
+    for po_idx, (sig, _name) in enumerate(netlist.pos):
+        out.setdefault(sig, []).append((-1, po_idx))
+    return out
+
+
+def materialize_splitters(netlist: SFQNetlist) -> SplitterReport:
+    """Rewrite every multi-consumer net through a balanced splitter tree."""
+    report = SplitterReport()
+    if any(c.kind is CellKind.SPLITTER for c in netlist.cells):
+        raise NetworkError("splitters already materialised")
+    slots = _consumer_slots(netlist)
+    for sig in sorted(slots):
+        consumers = slots[sig]
+        if len(consumers) < 2:
+            continue
+        # build a balanced binary tree producing len(consumers) outputs
+        outputs: List[Signal] = [sig]
+        depth = 0
+        while len(outputs) < len(consumers):
+            outputs.sort()  # deterministic
+            src = outputs.pop(0)
+            idx = len(netlist.cells)
+            netlist.cells.append(
+                Cell(idx, CellKind.SPLITTER, fanins=(src,))
+            )
+            outputs.append((idx, "o0"))
+            outputs.append((idx, "o1"))
+            report.splitters_added += 1
+        # wire each consumer to one tree output
+        tree_depth = _tree_depth(netlist, outputs, sig)
+        report.max_tree_depth = max(report.max_tree_depth, tree_depth)
+        report.trees[sig] = len(consumers) - 1
+        for (cons, slot_idx), out_sig in zip(consumers, outputs):
+            if cons == -1:
+                netlist.pos[slot_idx] = (out_sig, netlist.pos[slot_idx][1])
+            else:
+                fans = list(netlist.cells[cons].fanins)
+                fans[slot_idx] = out_sig
+                netlist.cells[cons].fanins = tuple(fans)
+    return report
+
+
+def _tree_depth(netlist: SFQNetlist, leaves: List[Signal], root: Signal) -> int:
+    depth = 0
+    for sig in leaves:
+        d = 0
+        cur = sig
+        while cur != root and netlist.cells[cur[0]].kind is CellKind.SPLITTER:
+            cur = netlist.cells[cur[0]].fanins[0]
+            d += 1
+        depth = max(depth, d)
+    return depth
+
+
+def resolve_clocked_driver(netlist: SFQNetlist, sig: Signal) -> Signal:
+    """Walk back through asynchronous splitters to the clocked source."""
+    seen = 0
+    while netlist.cells[sig[0]].kind is CellKind.SPLITTER:
+        sig = netlist.cells[sig[0]].fanins[0]
+        seen += 1
+        if seen > len(netlist.cells):  # pragma: no cover - defensive
+            raise NetworkError("splitter cycle")
+    return sig
+
+
+def splitter_count(netlist: SFQNetlist) -> int:
+    """Number of physical splitter cells in the netlist."""
+    return sum(1 for c in netlist.cells if c.kind is CellKind.SPLITTER)

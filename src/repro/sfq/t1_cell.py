@@ -1,0 +1,152 @@
+"""Pulse-level behavioural model of the T1 flip-flop (Fig. 1 of the paper).
+
+The cell is a two-state superconductive loop (Polonsky et al., ref. [5]):
+
+* internal state 0: bias current flows towards JQ;
+* a pulse on **T** in state 0 switches JQ → emits **Q*** and flips to 1;
+* a pulse on **T** in state 1 switches JC → emits **C*** and flips to 0;
+* a pulse on **R** in state 1 switches JS → emits **S** and resets to 0;
+* a pulse on **R** in state 0 is rejected by JR (no output).
+
+Used as a full adder (Fig. 1c): the three operand pulses a, b, c are
+staggered onto T at phases φ0 < φ1 < φ2 and the clock is the R pulse of
+the next stage.  Over one cycle with k operand pulses the cell emits
+
+* Q* on every 0→1 toggle  → at least one Q* pulse iff k ≥ 1 (**OR3**);
+* C* on every 1→0 toggle  → at least one C* pulse iff k ≥ 2 (**MAJ3**
+  for k ≤ 3);
+* S on the readout iff the final state is 1, i.e. k odd (**XOR3**).
+
+The raw Q*/C* ports can pulse twice per cycle (k = 3 gives Q* at the 1st
+and 3rd toggle); the synchronous view (what the mapped netlist uses)
+merges them — any pulse during the cycle counts as logic 1.  Negated
+outputs attach clocked inverters downstream.
+
+Two overlapping T pulses merge into one electrically — the model raises
+:class:`~repro.errors.HazardError`, which is exactly the data hazard the
+paper's multiphase staggering (eq. 3-5) exists to prevent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional, Sequence, Tuple
+
+from repro.errors import HazardError
+
+
+@dataclass(frozen=True)
+class T1Event:
+    """One pulse observed at a T1 port."""
+
+    time: int
+    port: str  # "T", "R" (inputs) or "S", "C*", "Q*" (outputs)
+
+
+@dataclass
+class T1CellState:
+    """Behavioural T1-FF instance."""
+
+    state: int = 0  # loop state: 0 or 1
+    last_t_time: Optional[int] = None
+    toggles_since_readout: int = 0
+    history: List[T1Event] = field(default_factory=list)
+
+    def pulse_t(self, time: int) -> List[str]:
+        """A pulse on the toggle input; returns emitted output ports."""
+        if self.last_t_time is not None and time == self.last_t_time:
+            raise HazardError(
+                f"two T pulses overlap at time {time}: pulses merge and the "
+                "count is lost (violates the paper's input-staggering rule)"
+            )
+        self.last_t_time = time
+        self.history.append(T1Event(time, "T"))
+        self.toggles_since_readout += 1
+        if self.state == 0:
+            self.state = 1
+            self.history.append(T1Event(time, "Q*"))
+            return ["Q*"]
+        self.state = 0
+        self.history.append(T1Event(time, "C*"))
+        return ["C*"]
+
+    def pulse_r(self, time: int) -> List[str]:
+        """A pulse on the reset/readout input; returns emitted ports."""
+        self.history.append(T1Event(time, "R"))
+        outputs: List[str] = []
+        if self.state == 1:
+            outputs.append("S")
+            self.history.append(T1Event(time, "S"))
+        self.state = 0
+        self.toggles_since_readout = 0
+        self.last_t_time = None
+        return outputs
+
+    # -- synchronous (cycle) view --------------------------------------------
+
+    def readout(self, time: int) -> Dict[str, int]:
+        """Clocked readout: the logic values the mapped netlist consumes.
+
+        Must be called where the R pulse would arrive.  Returns the three
+        synchronous outputs for the pulses seen this cycle.
+        """
+        count = self.toggles_since_readout
+        self.pulse_r(time)
+        return {
+            "S": count % 2,          # XOR3
+            "C": 1 if count >= 2 else 0,  # MAJ3 for <= 3 inputs
+            "Q": 1 if count >= 1 else 0,  # OR3
+        }
+
+
+def simulate_pulse_train(
+    events: Sequence[Tuple[int, str]]
+) -> List[T1Event]:
+    """Replay a (time, port) pulse train; returns the full event history.
+
+    ``port`` is "T" or "R".  This regenerates Fig. 1b: feed the figure's
+    stimulus and observe the S/C*/Q* responses.
+    """
+    cell = T1CellState()
+    for time, port in sorted(events, key=lambda e: e[0]):
+        if port == "T":
+            cell.pulse_t(time)
+        elif port == "R":
+            cell.pulse_r(time)
+        else:
+            raise ValueError(f"unknown input port {port!r}")
+    return cell.history
+
+
+def full_adder_cycle(a: int, b: int, c: int) -> Tuple[int, int, int]:
+    """One full-adder cycle through the behavioural cell.
+
+    Pulses for the asserted operands arrive at staggered times 0, 1, 2;
+    the readout (R) arrives at time 3.  Returns (sum, carry, or3).
+    """
+    cell = T1CellState()
+    for t, bit in enumerate((a, b, c)):
+        if bit:
+            cell.pulse_t(t)
+    out = cell.readout(3)
+    return out["S"], out["C"], out["Q"]
+
+
+def waveform_ascii(
+    history: Sequence[T1Event],
+    t_max: Optional[int] = None,
+    ports: Sequence[str] = ("T", "R", "S", "C*", "Q*"),
+) -> str:
+    """ASCII rendering of a pulse history (the Fig. 1b reproduction)."""
+    if not history:
+        return "(no events)"
+    horizon = t_max if t_max is not None else max(e.time for e in history) + 1
+    lines = []
+    for port in ports:
+        times = {e.time for e in history if e.port == port}
+        cells = "".join("|" if t in times else "_" for t in range(horizon + 1))
+        lines.append(f"{port:>3} {cells}")
+    scale = "    " + "".join(
+        str(t % 10) for t in range(horizon + 1)
+    )
+    return "\n".join(lines + [scale])

@@ -1,0 +1,103 @@
+"""Static timing-rule checker for staged SFQ netlists.
+
+Validates the invariants that phase assignment (eq. 3) and DFF insertion
+(eq. 5) must establish; the pulse-level simulator then re-checks them
+dynamically.  Rules, for an n-phase netlist:
+
+R1. every clocked cell has a stage, PIs are at stage 0;
+R2. every producer→consumer edge has stage gap in [1, n] — beyond n the
+    next wave's pulse overwrites the loop before readout;
+R3. the three fanins of a T1 cell arrive at pairwise distinct stages
+    (otherwise T pulses overlap and merge);
+R4. DFF fanin gaps obey R2 (chains correctly spaced).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import TimingError
+from repro.sfq.netlist import CellKind, SFQNetlist
+
+
+@dataclass
+class TimingReport:
+    """Outcome of a check; ``violations`` empty means clean."""
+
+    n_phases: int
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_failed(self) -> None:
+        if self.violations:
+            preview = "; ".join(self.violations[:5])
+            raise TimingError(
+                f"{len(self.violations)} timing violations: {preview}"
+            )
+
+
+def check_timing(netlist: SFQNetlist) -> TimingReport:
+    """Run all rules; returns a report (does not raise)."""
+    n = netlist.n_phases
+    report = TimingReport(n)
+    v = report.violations
+
+    for cell in netlist.cells:
+        if cell.kind is CellKind.PI:
+            if cell.stage is None or not 0 <= cell.stage < n:
+                v.append(
+                    f"PI cell {cell.index} stage {cell.stage} outside "
+                    f"epoch 0 (must be one of phases 0..{n - 1})"
+                )
+            continue
+        if not cell.clocked:
+            continue
+        if cell.stage is None:
+            v.append(f"{cell.kind.name} cell {cell.index} has no stage")
+            continue
+        if cell.stage < 0:
+            v.append(f"cell {cell.index} has negative stage {cell.stage}")
+
+    from repro.sfq.splitters import resolve_clocked_driver
+
+    for cell in netlist.cells:
+        if not cell.clocked or cell.stage is None:
+            continue
+        for sig in cell.fanins:
+            driver = netlist.driver_cell(resolve_clocked_driver(netlist, sig))
+            if driver.stage is None:
+                continue  # reported above
+            gap = cell.stage - driver.stage
+            if gap < 1:
+                v.append(
+                    f"edge {driver.index}->{cell.index}: gap {gap} < 1"
+                )
+            elif gap > n:
+                v.append(
+                    f"edge {driver.index}->{cell.index}: gap {gap} > n={n} "
+                    "(pulse overwritten by next wave)"
+                )
+
+    for cell in netlist.t1_cells():
+        if cell.stage is None:
+            continue
+        arrivals = []
+        for sig in cell.fanins:
+            driver = netlist.driver_cell(resolve_clocked_driver(netlist, sig))
+            if driver.stage is not None:
+                arrivals.append(driver.stage)
+        if len(set(arrivals)) != len(arrivals):
+            v.append(
+                f"T1 cell {cell.index}: fanin arrival stages {arrivals} "
+                "not pairwise distinct (eq. 5 violated)"
+            )
+    return report
+
+
+def assert_timing(netlist: SFQNetlist) -> None:
+    """Run all timing rules and raise on the first violation set."""
+    check_timing(netlist).raise_if_failed()

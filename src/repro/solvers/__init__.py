@@ -1,0 +1,20 @@
+"""Optimisation substrate: LP (simplex), MILP (B&B), finite-domain CP.
+
+This package replaces Google OR-Tools in the paper's flow: the phase
+assignment ILP (§II-B) runs on :class:`MilpModel` and the DFF-insertion
+model (§II-C) on :class:`CpModel`.
+"""
+
+from repro.solvers.cpsat import CpModel, IntVar
+from repro.solvers.linprog import LpResult, solve_lp
+from repro.solvers.milp import MilpModel, MilpSolution, MilpVar
+
+__all__ = [
+    "CpModel",
+    "IntVar",
+    "LpResult",
+    "MilpModel",
+    "MilpSolution",
+    "MilpVar",
+    "solve_lp",
+]

@@ -1,0 +1,159 @@
+"""Dense primal simplex LP solver (Big-M), numpy-based.
+
+Solves::
+
+    minimize    c @ x
+    subject to  A_ub @ x <= b_ub
+                A_eq @ x == b_eq
+                x >= 0
+
+Small and deterministic (Bland's rule on ties keeps it cycle-free); meant
+for the modest phase-assignment ILPs of the paper, not for industrial LPs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InfeasibleError, SolverError, UnboundedError
+
+_BIG_M = 1e7
+_EPS = 1e-8
+
+
+@dataclasses.dataclass
+class LpResult:
+    x: np.ndarray
+    objective: float
+    iterations: int
+
+
+def solve_lp(
+    c: Sequence[float],
+    a_ub: Optional[Sequence[Sequence[float]]] = None,
+    b_ub: Optional[Sequence[float]] = None,
+    a_eq: Optional[Sequence[Sequence[float]]] = None,
+    b_eq: Optional[Sequence[float]] = None,
+    max_iterations: int = 50_000,
+) -> LpResult:
+    """Solve the LP; raises Infeasible/Unbounded errors."""
+    c = np.asarray(c, dtype=float)
+    n = c.shape[0]
+    rows: List[np.ndarray] = []
+    rhs: List[float] = []
+    kinds: List[str] = []
+    if a_ub is not None:
+        a_ub = np.asarray(a_ub, dtype=float)
+        b_ub = np.asarray(b_ub, dtype=float)
+        for i in range(a_ub.shape[0]):
+            rows.append(a_ub[i])
+            rhs.append(float(b_ub[i]))
+            kinds.append("ub")
+    if a_eq is not None:
+        a_eq = np.asarray(a_eq, dtype=float)
+        b_eq = np.asarray(b_eq, dtype=float)
+        for i in range(a_eq.shape[0]):
+            rows.append(a_eq[i])
+            rhs.append(float(b_eq[i]))
+            kinds.append("eq")
+    m = len(rows)
+    if m == 0:
+        if np.any(c < -_EPS):
+            raise UnboundedError("unconstrained variable with negative cost")
+        return LpResult(np.zeros(n), 0.0, 0)
+
+    # normalise negative rhs
+    a = np.vstack(rows) if rows else np.zeros((0, n))
+    b = np.asarray(rhs, dtype=float)
+    for i in range(m):
+        if b[i] < 0:
+            a[i] = -a[i]
+            b[i] = -b[i]
+            if kinds[i] == "ub":
+                kinds[i] = "lb"  # became >=
+
+    # columns: n structural + slacks/surplus + artificials
+    slack_cols = sum(1 for k in kinds if k in ("ub", "lb"))
+    art_cols = sum(1 for k in kinds if k in ("eq", "lb"))
+    total = n + slack_cols + art_cols
+    tab = np.zeros((m, total))
+    tab[:, :n] = a
+    cost = np.zeros(total)
+    cost[:n] = c
+    basis = [-1] * m
+    si = n
+    ai = n + slack_cols
+    for i, kind in enumerate(kinds):
+        if kind == "ub":
+            tab[i, si] = 1.0
+            basis[i] = si
+            si += 1
+        elif kind == "lb":
+            tab[i, si] = -1.0
+            si += 1
+            tab[i, ai] = 1.0
+            cost[ai] = _BIG_M
+            basis[i] = ai
+            ai += 1
+        else:  # eq
+            tab[i, ai] = 1.0
+            cost[ai] = _BIG_M
+            basis[i] = ai
+            ai += 1
+
+    b_vec = b.copy()
+    # reduced costs with Big-M basis
+    it = 0
+    while True:
+        it += 1
+        if it > max_iterations:
+            raise SolverError("simplex iteration limit exceeded")
+        cb = cost[basis]
+        # reduced costs: c_j - cb @ B^-1 A_j ; tab already holds B^-1 A
+        reduced = cost - cb @ tab
+        # entering variable: most negative reduced cost (Bland on ties)
+        enter = -1
+        best = -_EPS * max(1.0, float(np.max(np.abs(cost))))
+        for j in range(total):
+            if reduced[j] < best - _EPS:
+                best = reduced[j]
+                enter = j
+        if enter < 0:
+            break
+        col = tab[:, enter]
+        # ratio test
+        leave = -1
+        best_ratio = np.inf
+        for i in range(m):
+            if col[i] > _EPS:
+                ratio = b_vec[i] / col[i]
+                if ratio < best_ratio - _EPS or (
+                    abs(ratio - best_ratio) <= _EPS
+                    and (leave == -1 or basis[i] < basis[leave])
+                ):
+                    best_ratio = ratio
+                    leave = i
+        if leave < 0:
+            raise UnboundedError("LP is unbounded")
+        # pivot
+        piv = tab[leave, enter]
+        tab[leave] = tab[leave] / piv
+        b_vec[leave] = b_vec[leave] / piv
+        for i in range(m):
+            if i != leave and abs(tab[i, enter]) > _EPS:
+                factor = tab[i, enter]
+                tab[i] -= factor * tab[leave]
+                b_vec[i] -= factor * b_vec[leave]
+        basis[leave] = enter
+
+    # infeasibility: artificial still basic at positive level
+    for i, bi in enumerate(basis):
+        if bi >= n + slack_cols and b_vec[i] > 1e-5:
+            raise InfeasibleError("LP infeasible (artificial variable basic)")
+    x = np.zeros(total)
+    for i, bi in enumerate(basis):
+        x[bi] = b_vec[i]
+    return LpResult(x[:n].copy(), float(c @ x[:n]), it)

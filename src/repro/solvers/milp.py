@@ -1,0 +1,232 @@
+"""Branch-and-bound mixed-integer linear programming on the simplex core.
+
+Modelling API in the spirit of OR-Tools' linear solver wrapper::
+
+    m = MilpModel()
+    x = m.add_var(lb=0, ub=10, integer=True, name="x")
+    m.add_constraint({x: 1, y: 2}, ">=", 3)
+    m.minimize({x: 1, y: 1})
+    sol = m.solve()
+    sol.value(x)
+
+Depth-first branch and bound with best-bound pruning.  Intended for the
+paper's phase-assignment ILP on small/medium networks; the scalable
+heuristic (:mod:`repro.core.phase_assignment`) covers the big ones and is
+validated against this exact solver in the tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InfeasibleError, SolverError, SolverLimitError, UnboundedError
+from repro.solvers.linprog import solve_lp
+
+_INT_TOL = 1e-6
+
+
+@dataclasses.dataclass(frozen=True)
+class MilpVar:
+    index: int
+    lb: float
+    ub: float
+    integer: bool
+    name: str
+
+
+@dataclasses.dataclass
+class MilpSolution:
+    values: Dict[int, float]
+    objective: float
+    nodes_explored: int
+    optimal: bool
+
+    def value(self, var: "MilpVar | int") -> float:
+        idx = var.index if isinstance(var, MilpVar) else var
+        return self.values[idx]
+
+    def int_value(self, var: "MilpVar | int") -> int:
+        return int(round(self.value(var)))
+
+
+class MilpModel:
+    """A small MILP model: variables with bounds, linear constraints."""
+
+    def __init__(self) -> None:
+        self.vars: List[MilpVar] = []
+        # constraints stored as (coeff dict, sense, rhs)
+        self.constraints: List[Tuple[Dict[int, float], str, float]] = []
+        self.objective: Dict[int, float] = {}
+
+    def add_var(
+        self,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        integer: bool = True,
+        name: str = "",
+    ) -> MilpVar:
+        if lb > ub:
+            raise SolverError(f"variable {name!r}: lb {lb} > ub {ub}")
+        v = MilpVar(len(self.vars), lb, ub, integer, name or f"v{len(self.vars)}")
+        self.vars.append(v)
+        return v
+
+    @staticmethod
+    def _keyify(coeffs: Dict) -> Dict[int, float]:
+        out: Dict[int, float] = {}
+        for k, c in coeffs.items():
+            idx = k.index if isinstance(k, MilpVar) else int(k)
+            out[idx] = out.get(idx, 0.0) + float(c)
+        return out
+
+    def add_constraint(self, coeffs: Dict, sense: str, rhs: float) -> None:
+        if sense not in ("<=", ">=", "=="):
+            raise SolverError(f"unknown sense {sense!r}")
+        self.constraints.append((self._keyify(coeffs), sense, float(rhs)))
+
+    def minimize(self, coeffs: Dict) -> None:
+        self.objective = self._keyify(coeffs)
+
+    def maximize(self, coeffs: Dict) -> None:
+        self.objective = {k: -c for k, c in self._keyify(coeffs).items()}
+        self._maximizing = True
+
+    # -- solving ------------------------------------------------------------
+
+    def _lp_data(
+        self,
+        extra_bounds: Dict[int, Tuple[float, float]],
+    ):
+        """Build standard-form arrays with shifted variables x = lb + y."""
+        n = len(self.vars)
+        lbs = np.array(
+            [extra_bounds.get(v.index, (v.lb, v.ub))[0] for v in self.vars]
+        )
+        ubs = np.array(
+            [extra_bounds.get(v.index, (v.lb, v.ub))[1] for v in self.vars]
+        )
+        if np.any(lbs > ubs + 1e-12):
+            raise InfeasibleError("contradictory bounds")
+        c = np.zeros(n)
+        for idx, coef in self.objective.items():
+            c[idx] = coef
+        a_ub: List[np.ndarray] = []
+        b_ub: List[float] = []
+        a_eq: List[np.ndarray] = []
+        b_eq: List[float] = []
+
+        def row(coeffs: Dict[int, float]) -> np.ndarray:
+            r = np.zeros(n)
+            for idx, coef in coeffs.items():
+                r[idx] = coef
+            return r
+
+        for coeffs, sense, rhs in self.constraints:
+            r = row(coeffs)
+            shift = float(r @ lbs)
+            if sense == "<=":
+                a_ub.append(r)
+                b_ub.append(rhs - shift)
+            elif sense == ">=":
+                a_ub.append(-r)
+                b_ub.append(shift - rhs)
+            else:
+                a_eq.append(r)
+                b_eq.append(rhs - shift)
+        # upper bounds on shifted vars
+        for v in self.vars:
+            ub = ubs[v.index] - lbs[v.index]
+            if math.isfinite(ub):
+                r = np.zeros(n)
+                r[v.index] = 1.0
+                a_ub.append(r)
+                b_ub.append(ub)
+        return c, a_ub, b_ub, a_eq, b_eq, lbs
+
+    def _solve_relaxation(
+        self, extra_bounds: Dict[int, Tuple[float, float]]
+    ) -> Tuple[np.ndarray, float]:
+        c, a_ub, b_ub, a_eq, b_eq, lbs = self._lp_data(extra_bounds)
+        res = solve_lp(
+            c,
+            a_ub=a_ub if a_ub else None,
+            b_ub=b_ub if b_ub else None,
+            a_eq=a_eq if a_eq else None,
+            b_eq=b_eq if b_eq else None,
+        )
+        x = res.x + lbs
+        obj = float(sum(self.objective.get(i, 0.0) * x[i] for i in range(len(x))))
+        return x, obj
+
+    def solve(self, node_limit: int = 20_000) -> MilpSolution:
+        """Branch and bound; raises on infeasibility, limit or unboundedness."""
+        best_x: Optional[np.ndarray] = None
+        best_obj = math.inf
+        nodes = 0
+        stack: List[Dict[int, Tuple[float, float]]] = [{}]
+        while stack:
+            bounds = stack.pop()
+            nodes += 1
+            if nodes > node_limit:
+                if best_x is None:
+                    raise SolverLimitError("MILP node limit with no incumbent")
+                break
+            try:
+                x, obj = self._solve_relaxation(bounds)
+            except InfeasibleError:
+                continue
+            if obj >= best_obj - 1e-9:
+                continue
+            # find fractional integer var
+            frac_idx = -1
+            frac_dist = _INT_TOL
+            for v in self.vars:
+                if not v.integer:
+                    continue
+                val = x[v.index]
+                dist = abs(val - round(val))
+                if dist > frac_dist:
+                    frac_dist = dist
+                    frac_idx = v.index
+                    break  # first-fractional branching (deterministic)
+            if frac_idx < 0:
+                xi = x.copy()
+                for v in self.vars:
+                    if v.integer:
+                        xi[v.index] = round(xi[v.index])
+                obj_i = float(
+                    sum(self.objective.get(i, 0.0) * xi[i] for i in range(len(xi)))
+                )
+                if obj_i < best_obj:
+                    best_obj = obj_i
+                    best_x = xi
+                continue
+            val = x[frac_idx]
+            cur = bounds.get(
+                frac_idx, (self.vars[frac_idx].lb, self.vars[frac_idx].ub)
+            )
+            lo, hi = cur
+            down = dict(bounds)
+            down[frac_idx] = (lo, math.floor(val))
+            up = dict(bounds)
+            up[frac_idx] = (math.ceil(val), hi)
+            # DFS: explore the side closer to the fractional value first
+            if val - math.floor(val) <= 0.5:
+                stack.append(up)
+                stack.append(down)
+            else:
+                stack.append(down)
+                stack.append(up)
+        if best_x is None:
+            raise InfeasibleError("MILP has no feasible solution")
+        maximizing = getattr(self, "_maximizing", False)
+        return MilpSolution(
+            values={i: float(best_x[i]) for i in range(len(self.vars))},
+            objective=-best_obj if maximizing else best_obj,
+            nodes_explored=nodes,
+            optimal=nodes <= node_limit,
+        )

@@ -1,0 +1,110 @@
+"""Functional tests of the arithmetic building blocks (vs integer math)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    compare_ge_bus,
+    ge_const,
+    kogge_stone_adder,
+    parity_tree,
+    ripple_carry_adder,
+)
+from repro.network import LogicNetwork, simulate_words
+from repro.network.logic_network import CONST1
+
+
+def bus_val(bits):
+    v = 0
+    for i, b in enumerate(bits):
+        v |= b << i
+    return v
+
+
+def int_row(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+class TestAdders:
+    @given(a=st.integers(0, 2**16 - 1), b=st.integers(0, 2**16 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_rca_is_integer_addition(self, a, b):
+        net = ripple_carry_adder(16)
+        out = simulate_words(net, [int_row(a, 16) + int_row(b, 16)])[0]
+        assert bus_val(out) == a + b
+
+    @given(a=st.integers(0, 2**12 - 1), b=st.integers(0, 2**12 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_kogge_stone_matches_rca(self, a, b):
+        net = kogge_stone_adder(12)
+        out = simulate_words(net, [int_row(a, 12) + int_row(b, 12)])[0]
+        assert bus_val(out) == a + b
+
+    def test_rca_structure_is_fa_chain(self):
+        from repro.network import Gate
+
+        net = ripple_carry_adder(8)
+        kinds = [net.gate(n) for n in net.nodes() if net.is_logic(n)]
+        assert kinds.count(Gate.MAJ3) == 7
+        assert kinds.count(Gate.AND) == 1  # half adder carry
+
+    def test_kogge_stone_depth_logarithmic(self):
+        from repro.network import depth
+
+        # 1 level of g/p + 5 prefix levels of OR(AND) + final sum XOR
+        assert depth(kogge_stone_adder(32)) <= 1 + 2 * 5 + 1
+        # far below the ripple-carry depth of 32
+        assert depth(kogge_stone_adder(32)) < 16
+
+    def test_adder_carry_out(self):
+        net = ripple_carry_adder(4)
+        out = simulate_words(net, [int_row(15, 4) + int_row(1, 4)])[0]
+        assert out[-1] == 1  # cout
+        assert bus_val(out[:-1]) == 0
+
+
+class TestComparators:
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_compare_ge_bus(self, a, b):
+        net = LogicNetwork()
+        abus = [net.add_pi() for _ in range(8)]
+        bbus = [net.add_pi() for _ in range(8)]
+        net.add_po(compare_ge_bus(net, abus, bbus))
+        out = simulate_words(net, [int_row(a, 8) + int_row(b, 8)])[0]
+        assert out[0] == (1 if a >= b else 0)
+
+    @given(a=st.integers(0, 255), t=st.integers(-5, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_ge_const(self, a, t):
+        net = LogicNetwork()
+        abus = [net.add_pi() for _ in range(8)]
+        net.add_po(ge_const(net, abus, t))
+        out = simulate_words(net, [int_row(a, 8)])[0]
+        assert out[0] == (1 if a >= t else 0), (a, t)
+
+    def test_ge_const_extremes(self):
+        net = LogicNetwork()
+        abus = [net.add_pi() for _ in range(4)]
+        assert ge_const(net, abus, 0) == CONST1
+        assert ge_const(net, abus, 16) == 0  # CONST0
+
+
+class TestParity:
+    @given(v=st.integers(0, 2**10 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_parity_tree(self, v):
+        net = LogicNetwork()
+        bus = [net.add_pi() for _ in range(10)]
+        net.add_po(parity_tree(net, bus))
+        out = simulate_words(net, [int_row(v, 10)])[0]
+        assert out[0] == bin(v).count("1") % 2
+
+    def test_parity_tree_depth(self):
+        from repro.network import depth
+
+        net = LogicNetwork()
+        bus = [net.add_pi() for _ in range(27)]
+        net.add_po(parity_tree(net, bus))
+        assert depth(net) == 3  # ternary tree of XOR3

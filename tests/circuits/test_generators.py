@@ -1,0 +1,197 @@
+"""Functional validation of every Table-I benchmark generator."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    TABLE1_ORDER,
+    braun_multiplier,
+    build,
+    c6288_like,
+    c7552_like,
+    cordic_sin_network,
+    cordic_sin_reference,
+    log2_network,
+    log2_reference,
+    majority_voter,
+    names,
+    sin_float_of_output,
+    squarer,
+)
+from repro.errors import ReproError
+from repro.network import depth, simulate_words
+
+
+def bus_val(bits):
+    v = 0
+    for i, b in enumerate(bits):
+        v |= b << i
+    return v
+
+
+def int_row(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+class TestMultiplier:
+    @given(a=st.integers(0, 1023), b=st.integers(0, 1023))
+    @settings(max_examples=30, deadline=None)
+    def test_product(self, a, b):
+        net = braun_multiplier(10)
+        out = simulate_words(net, [int_row(a, 10) + int_row(b, 10)])[0]
+        assert bus_val(out) == a * b
+
+    def test_truncated_width(self):
+        net = braun_multiplier(6, out_bits=6)
+        out = simulate_words(net, [int_row(37, 6) + int_row(21, 6)])[0]
+        assert bus_val(out) == (37 * 21) % 64
+
+    def test_c6288_is_16x16(self):
+        net = c6288_like()
+        assert len(net.pis) == 32
+        assert len(net.pos) == 32
+
+
+class TestSquarer:
+    @given(a=st.integers(0, 2**10 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_square(self, a):
+        net = squarer(10)
+        out = simulate_words(net, [int_row(a, 10)])[0]
+        assert bus_val(out) == a * a
+
+    def test_bit1_constant_zero(self):
+        # squares mod 4 are 0 or 1: output bit 1 folds to constant 0
+        from repro.network.cleanup import strash
+
+        net, _ = strash(squarer(6))
+        assert net.pos[1] == 0  # CONST0 node after constant folding
+
+
+class TestVoter:
+    @pytest.mark.parametrize("n", [5, 15, 33])
+    def test_majority(self, n):
+        net = majority_voter(n)
+        rng = random.Random(n)
+        for _ in range(30):
+            bits = [rng.randint(0, 1) for _ in range(n)]
+            out = simulate_words(net, [bits])[0]
+            assert out[0] == (1 if sum(bits) > n // 2 else 0)
+
+    def test_exact_threshold(self):
+        net = majority_voter(9)
+        row = [1] * 5 + [0] * 4
+        assert simulate_words(net, [row])[0][0] == 1
+        row = [1] * 4 + [0] * 5
+        assert simulate_words(net, [row])[0][0] == 0
+
+    def test_balanced_depth(self):
+        # Wallace-style popcount: depth must be logarithmic-ish, not linear
+        net = majority_voter(99)
+        assert depth(net) < 30
+
+
+class TestCordicSin:
+    @given(angle=st.integers(-(1 << 10), 1 << 10))
+    @settings(max_examples=25, deadline=None)
+    def test_circuit_matches_reference_bit_exactly(self, angle):
+        width, iters = 13, 9
+        net = cordic_sin_network(width=width, iterations=iters)
+        word = angle & ((1 << width) - 1)
+        out = simulate_words(net, [int_row(word, width)])[0]
+        assert bus_val(out) == cordic_sin_reference(word, width, iters)
+
+    def test_reference_approximates_sin(self):
+        width, iters = 16, 12
+        frac = width - 3
+        for angle in (-1.2, -0.5, 0.0, 0.3, 0.9, 1.5):
+            word = int(round(angle * (1 << frac))) & ((1 << width) - 1)
+            got = sin_float_of_output(
+                cordic_sin_reference(word, width, iters), width
+            )
+            assert abs(got - math.sin(angle)) < 0.01, angle
+
+
+class TestLog2:
+    @given(v=st.integers(1, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_circuit_matches_reference(self, v):
+        width, frac = 8, 4
+        net = log2_network(width=width, frac_bits=frac)
+        out = simulate_words(net, [int_row(v, width)])[0]
+        f_got = bus_val(out[:frac])
+        e_got = bus_val(out[frac:])
+        e_ref, f_ref = log2_reference(v, width, frac)
+        assert (e_got, f_got) == (e_ref, f_ref)
+
+    def test_reference_approximates_log2(self):
+        for v in (1, 2, 3, 7, 100, 255, 4000, 65535):
+            e, f = log2_reference(v, 16, 8)
+            approx = e + f / 256
+            assert abs(approx - math.log2(v)) < 0.02, v
+
+    def test_zero_input_all_zero(self):
+        net = log2_network(width=8, frac_bits=4)
+        out = simulate_words(net, [int_row(0, 8)])[0]
+        assert all(b == 0 for b in out)
+
+    def test_power_of_two_width_required(self):
+        with pytest.raises(ValueError):
+            log2_network(width=12)
+
+
+class TestC7552:
+    @given(
+        a=st.integers(0, 255),
+        b=st.integers(0, 255),
+        sel=st.integers(0, 1),
+        en=st.integers(0, 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_all_outputs(self, a, b, sel, en):
+        net = c7552_like(8)
+        row = int_row(a, 8) + int_row(b, 8) + [sel, en]
+        out = dict(zip(net.po_names, simulate_words(net, [row])[0]))
+        s = a + b
+        for i in range(8):
+            if en:
+                assert out[f"y{i}"] == (s >> i) & 1
+            else:
+                bw = (a ^ b) if sel else (a & b)
+                assert out[f"y{i}"] == (bw >> i) & 1
+        assert out["cout"] == (en & (s >> 8))
+        assert out["a_ge_b"] == (1 if a >= b else 0)
+        assert out["a_eq_b"] == (1 if a == b else 0)
+        assert out["parity"] == (
+            (bin(a).count("1") + bin(b).count("1") + sel) & 1
+        )
+
+
+class TestRegistry:
+    def test_all_names_build_ci(self):
+        for name in names():
+            net = build(name, "ci")
+            assert net.num_gates() > 0
+            assert net.name == name
+
+    def test_table1_order(self):
+        assert TABLE1_ORDER[0] == "adder"
+        assert len(TABLE1_ORDER) == 8
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ReproError):
+            build("nonesuch")
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ReproError):
+            build("adder", "huge")
+
+    def test_paper_preset_sizes(self):
+        net = build("adder", "paper")
+        assert len(net.pis) == 256
+        net = build("voter", "paper")
+        assert len(net.pis) == 1001

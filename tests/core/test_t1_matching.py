@@ -1,0 +1,94 @@
+"""Tests for Boolean matching against the T1 output functions."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network import Gate, TruthTable, maj3_tt, or3_tt, xor3_tt
+from repro.core.t1_matching import (
+    T1_OUTPUTS,
+    is_t1_implementable,
+    match_t1_output,
+    polarities_matching,
+    polarity_bits,
+)
+
+
+class TestDirectMatches:
+    def test_xor3_matches_s(self):
+        m = match_t1_output(xor3_tt(), 0)
+        assert m is not None and m.port == "S" and not m.negated
+
+    def test_maj3_matches_c(self):
+        m = match_t1_output(maj3_tt(), 0)
+        assert m is not None and m.port == "C" and not m.negated
+
+    def test_or3_matches_q(self):
+        m = match_t1_output(or3_tt(), 0)
+        assert m is not None and m.port == "Q" and not m.negated
+
+    def test_negated_maj_matches_cn(self):
+        m = match_t1_output(~maj3_tt(), 0)
+        assert m is not None and m.port == "C" and m.negated
+        assert m.tap_gate is Gate.T1_CN
+
+    def test_nor3_matches_qn(self):
+        m = match_t1_output(~or3_tt(), 0)
+        assert m is not None and m.port == "Q" and m.negated
+
+    def test_xnor3_does_not_match_at_polarity0(self):
+        # no raw S* port: NOT XOR3 is not reachable without input negation
+        assert match_t1_output(~xor3_tt(), 0) is None
+
+    def test_xnor3_matches_under_single_input_negation(self):
+        # ~XOR3 == XOR3 with one negated input
+        found = polarities_matching(~xor3_tt())
+        assert any(
+            m.port == "S" and bin(p).count("1") % 2 == 1 for p, m in found
+        )
+
+    def test_and3_matches_qn_under_full_negation(self):
+        # a & b & c == NOT(OR3(!a, !b, !c))
+        and3 = TruthTable.from_function(lambda a, b, c: bool(a and b and c), 3)
+        found = polarities_matching(and3)
+        assert any(p == 0b111 and m.port == "Q" and m.negated for p, m in found)
+
+    def test_random_function_rejected(self):
+        f = TruthTable.from_function(lambda a, b, c: bool(a and not b or (b and c)), 3)
+        # f is not symmetric -> not T1 implementable under any polarity
+        assert not is_t1_implementable(f)
+
+    def test_wrong_arity_rejected(self):
+        assert match_t1_output(TruthTable.var(0, 2), 0) is None
+
+
+class TestPolarityConsistency:
+    @pytest.mark.parametrize("polarity", range(8))
+    def test_matched_function_is_port_function_of_negated_inputs(self, polarity):
+        base = {"S": xor3_tt(), "C": maj3_tt(), "Q": or3_tt()}
+        for port, negated, _tap in T1_OUTPUTS:
+            f = base[port].negate_vars(polarity)
+            if negated:
+                f = ~f
+            m = match_t1_output(f, polarity)
+            assert m is not None
+            assert m.port == port
+            # negation flag may differ only when two descriptors collide,
+            # which cannot happen (functions are pairwise distinct)
+            assert m.negated == negated
+
+    def test_polarity_bits(self):
+        assert polarity_bits(0b101) == (True, False, True)
+
+
+@given(bits=st.integers(0, 255))
+def test_only_symmetric_functions_match(bits):
+    """Every T1-implementable function must be totally symmetric
+    *after* undoing the input polarity."""
+    tt = TruthTable(bits, 3)
+    for polarity, _m in polarities_matching(tt):
+        undone = tt.negate_vars(polarity)
+        for perm in itertools.permutations(range(3)):
+            assert undone.permute(perm) == undone

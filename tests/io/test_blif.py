@@ -1,0 +1,133 @@
+"""Tests for BLIF read/write round-trips."""
+
+import pytest
+
+from repro.circuits import ripple_carry_adder
+from repro.errors import ParseError
+from repro.io import dumps_blif, loads_blif
+from repro.network import (
+    Gate,
+    LogicNetwork,
+    check_equivalence,
+    exhaustive_equivalence,
+)
+
+
+def roundtrip(net):
+    return loads_blif(dumps_blif(net))
+
+
+class TestRoundTrip:
+    def test_simple_gates(self):
+        net = LogicNetwork("g")
+        a, b = net.add_pi("a"), net.add_pi("b")
+        net.add_po(net.add_and(a, b), "y_and")
+        net.add_po(net.add_or(a, b), "y_or")
+        net.add_po(net.add_xor(a, b), "y_xor")
+        net.add_po(net.add_nand(a, b), "y_nand")
+        net.add_po(net.add_nor(a, b), "y_nor")
+        net.add_po(net.add_xnor(a, b), "y_xnor")
+        net.add_po(net.add_not(a), "y_not")
+        back = roundtrip(net)
+        assert exhaustive_equivalence(net, back).equivalent
+
+    def test_maj3(self):
+        net = LogicNetwork()
+        a, b, c = (net.add_pi(x) for x in "abc")
+        net.add_po(net.add_maj3(a, b, c), "m")
+        assert exhaustive_equivalence(net, roundtrip(net)).equivalent
+
+    def test_adder(self):
+        net = ripple_carry_adder(6)
+        back = roundtrip(net)
+        assert check_equivalence(net, back).equivalent
+        assert back.name == net.name
+
+    def test_t1_block_expanded_functionally(self):
+        net = LogicNetwork("t1m")
+        a, b, c = (net.add_pi(x) for x in "abc")
+        cell = net.add_t1_cell(a, b, c)
+        for tap in (Gate.T1_S, Gate.T1_C, Gate.T1_CN, Gate.T1_Q, Gate.T1_QN):
+            net.add_po(net.add_t1_tap(cell, tap), f"o_{tap.name}")
+        back = roundtrip(net)
+        assert len(back.t1_cells()) == 0  # structural expansion
+        assert exhaustive_equivalence(net, back).equivalent
+
+    def test_constant_pos(self):
+        net = LogicNetwork()
+        net.add_pi("a")
+        net.add_po(0, "zero")
+        net.add_po(1, "one")
+        back = roundtrip(net)
+        assert exhaustive_equivalence(net, back).equivalent
+
+    def test_po_names_preserved(self):
+        net = ripple_carry_adder(3)
+        back = roundtrip(net)
+        assert back.po_names == net.po_names
+
+
+class TestParsing:
+    def test_dont_care_rows(self):
+        text = """
+.model m
+.inputs a b c
+.outputs y
+.names a b c y
+1-- 1
+-11 1
+.end
+"""
+        net = loads_blif(text)
+        from repro.network import simulate_exhaustive, TruthTable
+
+        tt = simulate_exhaustive(net)[0]
+        expect = TruthTable.from_function(
+            lambda a, b, c: bool(a or (b and c)), 3
+        )
+        assert tt == expect
+
+    def test_inverted_cover(self):
+        text = """
+.model m
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+"""
+        net = loads_blif(text)
+        from repro.network import simulate_exhaustive
+
+        tt = simulate_exhaustive(net)[0]
+        assert tt.bits == 0b0111  # NAND
+
+    def test_out_of_order_names(self):
+        text = """
+.model m
+.inputs a
+.outputs y
+.names t y
+1 1
+.names a t
+0 1
+.end
+"""
+        net = loads_blif(text)
+        from repro.network import simulate_exhaustive
+
+        assert simulate_exhaustive(net)[0].bits == 0b01
+
+    def test_latch_rejected(self):
+        with pytest.raises(ParseError):
+            loads_blif(".model m\n.latch a b\n.end\n")
+
+    def test_undefined_output_rejected(self):
+        with pytest.raises(ParseError):
+            loads_blif(".model m\n.inputs a\n.outputs nope\n.end\n")
+
+    def test_bad_cover_row(self):
+        with pytest.raises(ParseError):
+            loads_blif(
+                ".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n"
+            )

@@ -1,0 +1,49 @@
+"""Property tests: BLIF and .bench round-trips on random networks."""
+
+import pytest
+
+from repro.io import dumps_bench, dumps_blif, loads_bench, loads_blif
+from repro.network import check_equivalence
+from tests.test_flow_fuzz import random_network
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_blif_roundtrip_random(seed):
+    net = random_network(seed, num_pis=5, num_gates=25)
+    back = loads_blif(dumps_blif(net))
+    assert len(back.pis) == len(net.pis)
+    assert len(back.pos) == len(net.pos)
+    res = check_equivalence(net, back, complete=True)
+    assert res.equivalent, (seed, res.counterexample)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_bench_roundtrip_random(seed):
+    net = random_network(50 + seed, num_pis=5, num_gates=25)
+    back = loads_bench(dumps_bench(net))
+    res = check_equivalence(net, back, complete=True)
+    assert res.equivalent, (seed, res.counterexample)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_blif_of_t1_network_random(seed):
+    """Networks containing T1 blocks export functionally."""
+    from repro.core.t1_detection import detect_and_replace
+    from repro.network.cleanup import strash
+
+    net = random_network(100 + seed, num_pis=6, num_gates=40, p_wide=0.5)
+    work, _ = strash(net)
+    replaced = detect_and_replace(work).network
+    back = loads_blif(dumps_blif(replaced))
+    res = check_equivalence(net, back, complete=True)
+    assert res.equivalent, (seed, res.counterexample)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_cross_format(seed):
+    """BLIF -> network -> bench -> network stays equivalent."""
+    net = random_network(200 + seed, num_pis=4, num_gates=15)
+    via_blif = loads_blif(dumps_blif(net))
+    via_both = loads_bench(dumps_bench(via_blif))
+    res = check_equivalence(net, via_both, complete=True)
+    assert res.equivalent, seed

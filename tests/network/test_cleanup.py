@@ -1,0 +1,151 @@
+"""Tests for sweep and structural hashing."""
+
+import pytest
+
+from repro.network import (
+    CONST0,
+    CONST1,
+    Gate,
+    LogicNetwork,
+    check_equivalence,
+    simulate_exhaustive,
+    strash,
+    sweep,
+)
+
+
+def test_sweep_removes_dead_nodes():
+    net = LogicNetwork()
+    a, b = net.add_pi(), net.add_pi()
+    live = net.add_and(a, b)
+    dead = net.add_or(a, b)
+    dead2 = net.add_not(dead)
+    net.add_po(live)
+    swept, mapping = sweep(net)
+    assert swept.num_gates() == 1
+    assert live in mapping
+    assert check_equivalence(net, swept).equivalent
+
+
+def test_sweep_keeps_unused_pis():
+    net = LogicNetwork()
+    a, b = net.add_pi("a"), net.add_pi("b")
+    net.add_po(a)
+    swept, _ = sweep(net)
+    assert len(swept.pis) == 2
+    assert swept.get_name(swept.pis[1]) == "b"
+
+
+def test_sweep_preserves_t1_blocks():
+    net = LogicNetwork()
+    a, b, c = (net.add_pi() for _ in range(3))
+    cell = net.add_t1_cell(a, b, c)
+    s = net.add_t1_tap(cell, Gate.T1_S)
+    q = net.add_t1_tap(cell, Gate.T1_Q)  # dead tap
+    net.add_po(s)
+    swept, _ = sweep(net)
+    assert len(swept.t1_cells()) == 1
+    # dead tap dropped
+    cell_new = swept.t1_cells()[0]
+    assert len(swept.t1_taps_of(cell_new)) == 1
+    assert check_equivalence(net, swept).equivalent
+
+
+def test_strash_merges_duplicates():
+    net = LogicNetwork()
+    a, b = net.add_pi(), net.add_pi()
+    g1 = net.add_and(a, b)
+    g2 = net.add_and(b, a)  # same gate, permuted fanins
+    y = net.add_xor(g1, g2)  # x ^ x == 0
+    net.add_po(y)
+    hashed, _ = strash(net)
+    tts = simulate_exhaustive(hashed)
+    assert tts[0].bits == 0
+
+
+def test_strash_constant_folding():
+    net = LogicNetwork()
+    a = net.add_pi()
+    g1 = net.add_and(a, CONST1)   # == a
+    g2 = net.add_or(g1, CONST0)   # == a
+    g3 = net.add_xor(g2, CONST1)  # == !a
+    g4 = net.add_not(g3)          # == a
+    net.add_po(g4)
+    hashed, _ = strash(net)
+    assert hashed.num_gates() == 0  # collapses to the PI itself
+    assert check_equivalence(net, hashed).equivalent
+
+
+def test_strash_double_negation():
+    net = LogicNetwork()
+    a = net.add_pi()
+    n1 = net.add_not(a)
+    n2 = net.add_not(n1)
+    n3 = net.add_not(n2)
+    net.add_po(n3)
+    hashed, _ = strash(net)
+    assert hashed.num_gates() == 1  # single NOT remains
+    assert check_equivalence(net, hashed).equivalent
+
+
+def test_strash_maj_simplifications():
+    net = LogicNetwork()
+    a, b = net.add_pi(), net.add_pi()
+    m1 = net.add_maj3(a, a, b)       # == a
+    m2 = net.add_maj3(a, b, CONST0)  # == a & b
+    m3 = net.add_maj3(a, b, CONST1)  # == a | b
+    net.add_po(m1)
+    net.add_po(m2)
+    net.add_po(m3)
+    hashed, _ = strash(net)
+    assert check_equivalence(net, hashed).equivalent
+    tts = simulate_exhaustive(hashed)
+    assert tts[0].bits == 0b1010
+    assert tts[1].bits == 0b1000
+    assert tts[2].bits == 0b1110
+
+
+def test_strash_xor_duplicate_cancellation():
+    net = LogicNetwork()
+    a, b = net.add_pi(), net.add_pi()
+    y = net.add_xor(a, b, a)  # == b
+    net.add_po(y)
+    hashed, _ = strash(net)
+    assert hashed.num_gates() == 0
+    assert check_equivalence(net, hashed).equivalent
+
+
+def test_strash_nand_nor_fold():
+    net = LogicNetwork()
+    a = net.add_pi()
+    y1 = net.add_nand(a, CONST1)  # == !a
+    y2 = net.add_nor(a, CONST0)   # == !a
+    net.add_po(y1)
+    net.add_po(y2)
+    hashed, _ = strash(net)
+    assert check_equivalence(net, hashed).equivalent
+    # both POs collapse onto one NOT node
+    assert hashed.pos[0] == hashed.pos[1]
+
+
+def test_strash_idempotent():
+    net = LogicNetwork()
+    a, b, c = (net.add_pi() for _ in range(3))
+    g = net.add_or(net.add_and(a, b), net.add_and(b, c))
+    net.add_po(g)
+    h1, _ = strash(net)
+    h2, _ = strash(h1)
+    assert h1.num_nodes() == h2.num_nodes()
+
+
+def test_strash_preserves_t1():
+    net = LogicNetwork()
+    a, b, c = (net.add_pi() for _ in range(3))
+    cell = net.add_t1_cell(a, b, c)
+    s = net.add_t1_tap(cell, Gate.T1_S)
+    cc = net.add_t1_tap(cell, Gate.T1_C)
+    net.add_po(s)
+    net.add_po(cc)
+    hashed, _ = strash(net)
+    assert len(hashed.t1_cells()) == 1
+    assert check_equivalence(net, hashed).equivalent

@@ -1,0 +1,132 @@
+"""Tests for combinational equivalence checking."""
+
+import pytest
+
+from repro.errors import EquivalenceError, NetworkError
+from repro.network import (
+    LogicNetwork,
+    assert_equivalent,
+    check_equivalence,
+    exhaustive_equivalence,
+    sat_equivalence,
+    simulate_equivalence,
+)
+
+
+def xor_via_ands(net, a, b):
+    na, nb = net.add_not(a), net.add_not(b)
+    return net.add_or(net.add_and(a, nb), net.add_and(na, b))
+
+
+def make_pair(equal=True, n=3):
+    """Two structurally different networks computing XOR of n inputs."""
+    n1 = LogicNetwork("direct")
+    pis1 = [n1.add_pi(f"x{i}") for i in range(n)]
+    acc1 = pis1[0]
+    for p in pis1[1:]:
+        acc1 = n1.add_xor(acc1, p)
+    n1.add_po(acc1)
+
+    n2 = LogicNetwork("decomposed")
+    pis2 = [n2.add_pi(f"x{i}") for i in range(n)]
+    acc = pis2[0]
+    for p in pis2[1:]:
+        acc = xor_via_ands(n2, acc, p)
+    if not equal:
+        acc = n2.add_not(acc)
+    n2.add_po(acc)
+    return n1, n2
+
+
+class TestExhaustive:
+    def test_equivalent(self):
+        a, b = make_pair(True)
+        assert exhaustive_equivalence(a, b).equivalent
+
+    def test_inequivalent_with_witness(self):
+        a, b = make_pair(False)
+        res = exhaustive_equivalence(a, b)
+        assert not res.equivalent
+        assert res.counterexample is not None
+        assert set(res.counterexample) == {"x0", "x1", "x2"}
+
+
+class TestRandom:
+    def test_finds_difference(self):
+        a, b = make_pair(False, n=20)
+        res = simulate_equivalence(a, b, width=256, rounds=2)
+        assert not res.equivalent
+
+    def test_passes_equivalent(self):
+        a, b = make_pair(True, n=20)
+        res = simulate_equivalence(a, b, width=256, rounds=2)
+        assert res.equivalent
+
+
+class TestSat:
+    def test_unsat_miter_means_equivalent(self):
+        a, b = make_pair(True, n=6)
+        assert sat_equivalence(a, b).equivalent
+
+    def test_sat_miter_gives_valid_witness(self):
+        a, b = make_pair(False, n=6)
+        res = sat_equivalence(a, b)
+        assert not res.equivalent
+        cex = res.counterexample
+        # replay the witness: outputs must differ
+        from repro.network import simulate_words
+
+        row = [cex[f"x{i}"] for i in range(6)]
+        oa = simulate_words(a, [row])[0]
+        ob = simulate_words(b, [row])[0]
+        assert oa != ob
+
+
+class TestDriver:
+    def test_small_uses_exhaustive(self):
+        a, b = make_pair(True)
+        assert check_equivalence(a, b).method == "exhaustive"
+
+    def test_large_uses_random_then_sat(self):
+        a, b = make_pair(True, n=18)
+        res = check_equivalence(a, b, complete=True)
+        assert res.equivalent
+        assert res.method == "sat"
+
+    def test_incomplete_mode_stops_at_random(self):
+        a, b = make_pair(True, n=18)
+        res = check_equivalence(a, b, complete=False)
+        assert res.method == "random"
+
+    def test_interface_mismatch_raises(self):
+        a, _ = make_pair(True, 3)
+        b, _ = make_pair(True, 4)
+        with pytest.raises(NetworkError):
+            check_equivalence(a, b)
+
+    def test_assert_equivalent_raises_with_witness(self):
+        a, b = make_pair(False)
+        with pytest.raises(EquivalenceError) as exc:
+            assert_equivalent(a, b)
+        assert exc.value.counterexample is not None
+
+
+class TestT1Equivalence:
+    def test_t1_block_vs_explicit_gates(self):
+        from repro.network import Gate
+
+        t1net = LogicNetwork()
+        a, b, c = (t1net.add_pi(f"x{i}") for i in range(3))
+        cell = t1net.add_t1_cell(a, b, c)
+        t1net.add_po(t1net.add_t1_tap(cell, Gate.T1_S))
+        t1net.add_po(t1net.add_t1_tap(cell, Gate.T1_C))
+        t1net.add_po(t1net.add_t1_tap(cell, Gate.T1_QN))
+
+        ref = LogicNetwork()
+        x, y, z = (ref.add_pi(f"x{i}") for i in range(3))
+        ref.add_po(ref.add_xor(x, y, z))
+        ref.add_po(ref.add_maj3(x, y, z))
+        ref.add_po(ref.add_nor(x, y, z))
+
+        assert exhaustive_equivalence(t1net, ref).equivalent
+        assert sat_equivalence(t1net, ref).equivalent

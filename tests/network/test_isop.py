@@ -1,0 +1,98 @@
+"""Tests for ISOP cube covers and SOP synthesis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import (
+    LogicNetwork,
+    TruthTable,
+    maj3_tt,
+    or3_tt,
+    simulate_exhaustive,
+    xor3_tt,
+)
+from repro.network.isop import Cube, cover_table, isop, isop_interval, synthesize_sop
+
+
+class TestCube:
+    def test_evaluate(self):
+        c = Cube(pos=0b01, neg=0b10)  # x0 & !x1
+        assert c.evaluate(0b01)
+        assert not c.evaluate(0b11)
+        assert not c.evaluate(0b00)
+
+    def test_tautology_cube(self):
+        assert Cube(0, 0).to_table(2).bits == 0b1111
+
+    def test_literals(self):
+        assert Cube(0b101, 0b010).literals() == 3
+
+
+class TestIsop:
+    @pytest.mark.parametrize(
+        "tt_fn", [maj3_tt, or3_tt, xor3_tt, lambda: ~maj3_tt()]
+    )
+    def test_cover_equals_function(self, tt_fn):
+        tt = tt_fn()
+        cubes = isop(tt)
+        assert cover_table(cubes, 3) == tt
+
+    def test_maj3_is_three_cubes(self):
+        assert len(isop(maj3_tt())) == 3
+
+    def test_xor3_is_four_cubes(self):
+        assert len(isop(xor3_tt())) == 4
+
+    def test_constants(self):
+        assert isop(TruthTable.const(False, 2)) == []
+        cubes = isop(TruthTable.const(True, 2))
+        assert len(cubes) == 1 and cubes[0] == Cube(0, 0)
+
+    @given(bits=st.integers(0, 255))
+    @settings(max_examples=120, deadline=None)
+    def test_exact_cover_property(self, bits):
+        tt = TruthTable(bits, 3)
+        cubes = isop(tt)
+        assert cover_table(cubes, 3) == tt
+
+    @given(bits=st.integers(0, 2**16 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_four_var_cover_property(self, bits):
+        tt = TruthTable(bits, 4)
+        assert cover_table(isop(tt), 4) == tt
+
+    @given(bits=st.integers(0, 255))
+    @settings(max_examples=80, deadline=None)
+    def test_irredundant(self, bits):
+        """Dropping any cube must uncover part of the onset."""
+        tt = TruthTable(bits, 3)
+        cubes = isop(tt)
+        for i in range(len(cubes)):
+            rest = cubes[:i] + cubes[i + 1 :]
+            assert cover_table(rest, 3) != tt or len(cubes) == 0
+
+    @given(
+        lower=st.integers(0, 255),
+        extra=st.integers(0, 255),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interval_cover(self, lower, extra):
+        l = TruthTable(lower, 3)
+        u = TruthTable(lower | extra, 3)
+        cubes = isop_interval(l, u)
+        cover = cover_table(cubes, 3)
+        assert (cover.bits & l.bits) == l.bits      # covers the onset
+        assert (cover.bits & ~u.bits & 0xFF) == 0   # stays inside upper
+
+
+class TestSynthesize:
+    @given(bits=st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_synthesized_network_matches(self, bits):
+        tt = TruthTable(bits, 3)
+        net = LogicNetwork()
+        leaves = [net.add_pi() for _ in range(3)]
+        root = synthesize_sop(net, leaves, isop(tt))
+        net.add_po(root)
+        assert simulate_exhaustive(net)[0] == tt

@@ -1,0 +1,173 @@
+"""Tests for the LogicNetwork data structure and traversal."""
+
+import pytest
+
+from repro.errors import GateArityError, NetworkError
+from repro.network import (
+    CONST0,
+    CONST1,
+    Gate,
+    LogicNetwork,
+    depth,
+    levels,
+    topological_order,
+    transitive_fanin,
+    transitive_fanout,
+)
+
+
+def small_net():
+    net = LogicNetwork("small")
+    a = net.add_pi("a")
+    b = net.add_pi("b")
+    g1 = net.add_and(a, b)
+    g2 = net.add_xor(a, b)
+    g3 = net.add_or(g1, g2)
+    net.add_po(g3, "y")
+    return net, (a, b, g1, g2, g3)
+
+
+class TestConstruction:
+    def test_constants_exist(self):
+        net = LogicNetwork()
+        assert net.gate(CONST0) is Gate.CONST0
+        assert net.gate(CONST1) is Gate.CONST1
+
+    def test_pi_and_po(self):
+        net, (a, b, g1, g2, g3) = small_net()
+        assert net.pis == (a, b)
+        assert net.pos == (g3,)
+        assert net.po_names == ("y",)
+        assert net.get_name(a) == "a"
+
+    def test_gate_counts(self):
+        net, _ = small_net()
+        assert net.num_gates() == 3
+        assert net.num_nodes() == 2 + 2 + 3  # consts + PIs + gates
+
+    def test_arity_checks(self):
+        net = LogicNetwork()
+        a = net.add_pi()
+        with pytest.raises(GateArityError):
+            net.add_gate(Gate.NOT, (a, a))
+        with pytest.raises(GateArityError):
+            net.add_gate(Gate.AND, (a,))
+        with pytest.raises(GateArityError):
+            net.add_gate(Gate.MAJ3, (a, a))
+
+    def test_missing_fanin_rejected(self):
+        net = LogicNetwork()
+        a = net.add_pi()
+        with pytest.raises(NetworkError):
+            net.add_and(a, 999)
+
+    def test_po_to_t1_cell_rejected(self):
+        net = LogicNetwork()
+        a, b, c = net.add_pi(), net.add_pi(), net.add_pi()
+        cell = net.add_t1_cell(a, b, c)
+        with pytest.raises(NetworkError):
+            net.add_po(cell)
+
+    def test_t1_tap_requires_cell(self):
+        net = LogicNetwork()
+        a = net.add_pi()
+        with pytest.raises(NetworkError):
+            net.add_gate(Gate.T1_S, (a,))
+
+    def test_t1_block_construction(self):
+        net = LogicNetwork()
+        a, b, c = (net.add_pi() for _ in range(3))
+        cell = net.add_t1_cell(a, b, c)
+        s = net.add_t1_tap(cell, Gate.T1_S)
+        q = net.add_t1_tap(cell, Gate.T1_Q)
+        net.add_po(s)
+        net.add_po(q)
+        assert net.t1_cells() == [cell]
+        assert set(net.t1_taps_of(cell)) == {s, q}
+
+
+class TestFanouts:
+    def test_fanout_counts_include_pos(self):
+        net, (a, b, g1, g2, g3) = small_net()
+        counts = net.compute_fanout_counts()
+        assert counts[a] == 2
+        assert counts[g1] == 1
+        assert counts[g3] == 1  # PO reference
+
+    def test_compute_fanouts(self):
+        net, (a, b, g1, g2, g3) = small_net()
+        fan = net.compute_fanouts()
+        assert set(fan[a]) == {g1, g2}
+        assert fan[g3] == []
+
+
+class TestSubstitute:
+    def test_substitute_rewrites_fanins_and_pos(self):
+        net, (a, b, g1, g2, g3) = small_net()
+        n = net.substitute(g3, g1)
+        assert n == 1
+        assert net.pos == (g1,)
+
+    def test_substitute_rewrites_multiple(self):
+        net = LogicNetwork()
+        a = net.add_pi()
+        b = net.add_pi()
+        g = net.add_and(a, b)
+        h = net.add_or(g, g)
+        net.add_po(h)
+        count = net.substitute(g, a)
+        assert count == 2
+        assert net.fanin(h) == (a, a)
+
+    def test_replace_fanin(self):
+        net, (a, b, g1, g2, g3) = small_net()
+        net.replace_fanin(g3, g1, a)
+        assert net.fanin(g3) == (a, g2)
+        with pytest.raises(NetworkError):
+            net.replace_fanin(g3, g1, a)
+
+
+class TestTraversal:
+    def test_topological_order_sound(self):
+        net, _ = small_net()
+        order = topological_order(net)
+        pos = {node: i for i, node in enumerate(order)}
+        for node in net.nodes():
+            for f in net.fanin(node):
+                assert pos[f] < pos[node]
+
+    def test_levels(self):
+        net, (a, b, g1, g2, g3) = small_net()
+        lvl = levels(net)
+        assert lvl[a] == 0
+        assert lvl[g1] == 1
+        assert lvl[g3] == 2
+        assert depth(net) == 2
+
+    def test_t1_tap_level_equals_cell(self):
+        net = LogicNetwork()
+        a, b, c = (net.add_pi() for _ in range(3))
+        x = net.add_and(a, b)
+        cell = net.add_t1_cell(x, b, c)
+        s = net.add_t1_tap(cell, Gate.T1_S)
+        net.add_po(s)
+        lvl = levels(net)
+        assert lvl[cell] == 2
+        assert lvl[s] == 2
+
+    def test_transitive_fanin(self):
+        net, (a, b, g1, g2, g3) = small_net()
+        cone = transitive_fanin(net, [g3])
+        assert cone == {a, b, g1, g2, g3}
+
+    def test_transitive_fanout(self):
+        net, (a, b, g1, g2, g3) = small_net()
+        out = transitive_fanout(net, [a])
+        assert out == {a, g1, g2, g3}
+
+    def test_clone_independent(self):
+        net, (a, b, g1, g2, g3) = small_net()
+        c = net.clone()
+        c.add_pi("extra")
+        assert len(net.pis) == 2
+        assert len(c.pis) == 3

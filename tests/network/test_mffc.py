@@ -1,0 +1,94 @@
+"""Tests for MFFC computation."""
+
+from repro.network import Gate, LogicNetwork, MffcComputer, mffc
+
+
+def test_single_fanout_chain_absorbed():
+    net = LogicNetwork()
+    a, b = net.add_pi(), net.add_pi()
+    g1 = net.add_and(a, b)
+    g2 = net.add_not(g1)
+    g3 = net.add_or(g2, a)
+    net.add_po(g3)
+    assert mffc(net, g3) == {g1, g2, g3}
+
+
+def test_shared_node_not_absorbed():
+    net = LogicNetwork()
+    a, b = net.add_pi(), net.add_pi()
+    g1 = net.add_and(a, b)  # shared
+    g2 = net.add_not(g1)
+    g3 = net.add_or(g1, g2)
+    net.add_po(g3)
+    net.add_po(g1)  # external use of g1
+    assert mffc(net, g3) == {g2, g3}
+
+
+def test_mffc_of_pi_is_empty():
+    net = LogicNetwork()
+    a = net.add_pi()
+    net.add_po(a)
+    assert mffc(net, a) == set()
+
+
+def test_boundary_stops_absorption():
+    net = LogicNetwork()
+    a, b = net.add_pi(), net.add_pi()
+    g1 = net.add_and(a, b)
+    g2 = net.add_not(g1)
+    net.add_po(g2)
+    assert mffc(net, g2, boundary=[g1]) == {g2}
+
+
+def test_refcounts_restored_after_query():
+    net = LogicNetwork()
+    a, b = net.add_pi(), net.add_pi()
+    g1 = net.add_and(a, b)
+    g2 = net.add_not(g1)
+    net.add_po(g2)
+    comp = MffcComputer(net)
+    before = list(comp.refs)
+    comp.mffc(g2)
+    comp.mffc(g1)
+    assert comp.refs == before
+
+
+def test_union_no_double_count():
+    # two roots sharing an internal node: union counts it once and
+    # absorbs it (it dies when both roots die)
+    net = LogicNetwork()
+    a, b, c = (net.add_pi() for _ in range(3))
+    shared = net.add_xor(a, b)
+    r1 = net.add_and(shared, c)
+    r2 = net.add_or(shared, c)
+    net.add_po(r1)
+    net.add_po(r2)
+    comp = MffcComputer(net)
+    # individually, neither absorbs 'shared' (two fanouts)
+    assert comp.mffc(r1) == {r1}
+    assert comp.mffc(r2) == {r2}
+    union = comp.mffc_union([r1, r2])
+    assert union == {shared, r1, r2}
+
+
+def test_union_with_root_feeding_root():
+    # r2 is a fanin of r1; both get replaced -> both in cone, walked once
+    net = LogicNetwork()
+    a, b, c = (net.add_pi() for _ in range(3))
+    r2 = net.add_xor(a, b)
+    r1 = net.add_xor(r2, c)
+    net.add_po(r1)
+    comp = MffcComputer(net)
+    assert comp.mffc_union([r1, r2]) == {r1, r2}
+
+
+def test_t1_blocks_are_atomic():
+    net = LogicNetwork()
+    a, b, c = (net.add_pi() for _ in range(3))
+    cell = net.add_t1_cell(a, b, c)
+    s = net.add_t1_tap(cell, Gate.T1_S)
+    g = net.add_not(s)
+    net.add_po(g)
+    assert mffc(net, g) == {g}  # does not absorb tap or cell
+    assert mffc(net, s) == set()
+    assert mffc(net, cell) == set()

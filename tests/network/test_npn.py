@@ -1,0 +1,98 @@
+"""Tests for NPN canonisation and Boolean matching."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TruthTableError
+from repro.network import (
+    TruthTable,
+    match_against,
+    maj3_tt,
+    npn_canon,
+    npn_equivalent,
+    or3_tt,
+    xor3_tt,
+)
+from repro.network.npn import NpnTransform, npn_class_size, _all_transforms
+
+
+class TestCanon:
+    def test_canonical_is_reachable(self):
+        tt = maj3_tt()
+        canon, tf = npn_canon(tt)
+        assert tf.apply(tt) == canon
+
+    def test_constants_self_canonical(self):
+        zero = TruthTable.const(False, 3)
+        canon, _ = npn_canon(zero)
+        assert canon.bits == 0
+
+    def test_complement_pair_same_class(self):
+        assert npn_equivalent(maj3_tt(), ~maj3_tt())
+        assert npn_equivalent(or3_tt(), ~or3_tt())  # NOR3 == AND3 negated ins
+
+    def test_xor_xnor_same_class(self):
+        assert npn_equivalent(xor3_tt(), ~xor3_tt())
+
+    def test_distinct_classes(self):
+        assert not npn_equivalent(xor3_tt(), maj3_tt())
+        assert not npn_equivalent(or3_tt(), maj3_tt())
+
+    def test_rejects_large_tables(self):
+        with pytest.raises(TruthTableError):
+            npn_canon(TruthTable(0, 5))
+
+
+class TestMatch:
+    def test_match_found_for_permuted(self):
+        f = TruthTable.from_function(lambda a, b, c: a and not b or c, 3)
+        g = f.permute((2, 0, 1))
+        tf = match_against(f, g)
+        assert tf is not None
+        assert tf.apply(g) == f
+
+    def test_match_found_for_negated(self):
+        f = maj3_tt()
+        g = f.negate_vars(0b101)
+        tf = match_against(f, g)
+        assert tf is not None
+        assert tf.apply(g) == f
+
+    def test_no_match_across_classes(self):
+        assert match_against(xor3_tt(), maj3_tt()) is None
+
+    def test_arity_mismatch(self):
+        assert match_against(TruthTable.var(0, 2), xor3_tt()) is None
+
+
+class TestClassSizes:
+    def test_xor3_class(self):
+        # XOR3 class = {XOR3, XNOR3} only (totally symmetric, self-dual-ish)
+        assert npn_class_size(xor3_tt()) == 2
+
+    def test_maj3_class(self):
+        # MAJ3 is symmetric and self-dual (output negation == negating all
+        # inputs), so the class is exactly the 8 input-polarity variants
+        assert npn_class_size(maj3_tt()) == 8
+
+    def test_transform_count(self):
+        assert len(_all_transforms(3)) == 6 * 8 * 2
+
+
+@given(bits=st.integers(min_value=0, max_value=255))
+def test_canon_is_class_invariant(bits):
+    tt = TruthTable(bits, 3)
+    canon, _ = npn_canon(tt)
+    # applying any transform first must not change the canonical form
+    for tf in list(_all_transforms(3))[::17]:  # sample a few
+        tt2 = tf.apply(tt)
+        canon2, _ = npn_canon(tt2)
+        assert canon2 == canon
+
+
+@given(bits=st.integers(min_value=0, max_value=255))
+def test_canon_minimal(bits):
+    tt = TruthTable(bits, 3)
+    canon, _ = npn_canon(tt)
+    assert canon.bits <= tt.bits

@@ -1,0 +1,184 @@
+"""Unit and property tests for repro.network.truth_table."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TruthTableError
+from repro.network.truth_table import (
+    TruthTable,
+    and3_tt,
+    maj3_tt,
+    or3_tt,
+    var_mask,
+    xor3_tt,
+)
+
+
+class TestConstruction:
+    def test_const0(self):
+        tt = TruthTable.const(False, 3)
+        assert tt.bits == 0
+        assert tt.num_vars == 3
+
+    def test_const1(self):
+        tt = TruthTable.const(True, 2)
+        assert tt.bits == 0b1111
+
+    def test_var_projection(self):
+        a = TruthTable.var(0, 2)
+        b = TruthTable.var(1, 2)
+        assert a.bits == 0b1010
+        assert b.bits == 0b1100
+
+    def test_from_function_matches_values(self):
+        tt = TruthTable.from_function(lambda a, b: a and not b, 2)
+        for row in range(4):
+            a, b = row & 1, (row >> 1) & 1
+            assert tt.value(row) == (1 if a and not b else 0)
+
+    def test_from_bits_roundtrip(self):
+        tt = TruthTable.from_bits([0, 1, 1, 0])
+        assert tt.num_vars == 2
+        assert tt.bits == 0b0110
+
+    def test_from_bits_rejects_bad_length(self):
+        with pytest.raises(TruthTableError):
+            TruthTable.from_bits([0, 1, 1])
+
+    def test_rejects_oversized_bits(self):
+        with pytest.raises(TruthTableError):
+            TruthTable(1 << 4, 2)
+
+
+class TestStandardFunctions:
+    def test_xor3(self):
+        assert xor3_tt().bits == 0x96
+
+    def test_maj3(self):
+        assert maj3_tt().bits == 0xE8
+
+    def test_or3(self):
+        assert or3_tt().bits == 0xFE
+
+    def test_and3(self):
+        assert and3_tt().bits == 0x80
+
+    def test_all_symmetric(self):
+        for tt in (xor3_tt(), maj3_tt(), or3_tt(), and3_tt()):
+            for perm in itertools.permutations(range(3)):
+                assert tt.permute(perm) == tt
+
+
+class TestOperators:
+    def test_invert(self):
+        assert (~xor3_tt()).bits == 0x96 ^ 0xFF
+
+    def test_and_or_xor(self):
+        a = TruthTable.var(0, 3)
+        b = TruthTable.var(1, 3)
+        c = TruthTable.var(2, 3)
+        assert (a ^ b ^ c) == xor3_tt()
+        assert ((a & b) | (a & c) | (b & c)) == maj3_tt()
+        assert (a | b | c) == or3_tt()
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(TruthTableError):
+            TruthTable.var(0, 2) & TruthTable.var(0, 3)
+
+
+class TestTransforms:
+    def test_negate_var_on_maj(self):
+        # MAJ(!a, b, c) on rows where a=1 equals MAJ(0,b,c)=b&c
+        tt = maj3_tt().negate_var(0)
+        for row in range(8):
+            a, b, c = row & 1, (row >> 1) & 1, (row >> 2) & 1
+            expect = 1 if ((1 - a) + b + c) >= 2 else 0
+            assert tt.value(row) == expect
+
+    def test_negate_vars_all_on_maj_is_complement(self):
+        # MAJ(!a,!b,!c) == !MAJ(a,b,c)
+        assert maj3_tt().negate_vars(0b111) == ~maj3_tt()
+
+    def test_double_negation_identity(self):
+        tt = maj3_tt()
+        assert tt.negate_var(1).negate_var(1) == tt
+
+    def test_permute_identity(self):
+        assert xor3_tt().permute((0, 1, 2)) == xor3_tt()
+
+    def test_permute_asymmetric(self):
+        # f = a & !b : swapping a,b gives b & !a
+        f = TruthTable.from_function(lambda a, b: a and not b, 2)
+        g = f.permute((1, 0))
+        expect = TruthTable.from_function(lambda a, b: b and not a, 2)
+        assert g == expect
+
+    def test_extend_preserves_function(self):
+        f = TruthTable.from_function(lambda a, b: a ^ b, 2)
+        g = f.extend(4)
+        for row in range(16):
+            assert g.value(row) == f.value(row & 3)
+
+    def test_remap(self):
+        # xor(a, b) placed on positions (2, 0) of a 3-var table
+        f = TruthTable.from_function(lambda a, b: a ^ b, 2)
+        g = f.remap((2, 0), 3)
+        for row in range(8):
+            a = (row >> 2) & 1
+            b = row & 1
+            assert g.value(row) == (a ^ b)
+
+    def test_support_and_shrink(self):
+        f = TruthTable.from_function(lambda a, b, c: a ^ c, 3)
+        assert f.support() == (0, 2)
+        s = f.shrink_to_support()
+        assert s.num_vars == 2
+        assert s == TruthTable.from_function(lambda a, b: a ^ b, 2)
+
+    def test_depends_on(self):
+        f = TruthTable.from_function(lambda a, b, c: b, 3)
+        assert not f.depends_on(0)
+        assert f.depends_on(1)
+        assert not f.depends_on(2)
+
+
+@given(bits=st.integers(min_value=0, max_value=255), var=st.integers(0, 2))
+def test_negate_var_involution(bits, var):
+    tt = TruthTable(bits, 3)
+    assert tt.negate_var(var).negate_var(var) == tt
+
+
+@given(
+    bits=st.integers(min_value=0, max_value=255),
+    perm=st.permutations(list(range(3))),
+)
+def test_permute_roundtrip(bits, perm):
+    tt = TruthTable(bits, 3)
+    inverse = [0] * 3
+    for i, p in enumerate(perm):
+        inverse[p] = i
+    assert tt.permute(tuple(perm)).permute(tuple(inverse)) == tt
+
+
+@given(bits=st.integers(min_value=0, max_value=255))
+def test_shrink_preserves_semantics(bits):
+    tt = TruthTable(bits, 3)
+    small = tt.shrink_to_support()
+    sup = tt.support()
+    for row in range(8):
+        small_row = 0
+        for i, v in enumerate(sup):
+            if (row >> v) & 1:
+                small_row |= 1 << i
+        assert tt.value(row) == small.value(small_row)
+
+
+@given(bits=st.integers(min_value=0, max_value=255), pol=st.integers(0, 7))
+def test_negate_vars_parity_on_xor(bits, pol):
+    # negating inputs of XOR3 flips output iff an odd number are negated
+    tt = xor3_tt().negate_vars(pol)
+    ones = bin(pol).count("1")
+    assert tt == (~xor3_tt() if ones % 2 else xor3_tt())

@@ -1,0 +1,169 @@
+"""Tests for the CDCL SAT solver, including brute-force cross-checks."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import CnfBuilder, SatSolver, SatStatus, solve_cnf, to_dimacs
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in range(1 << num_vars):
+        ok = True
+        for clause in clauses:
+            sat = False
+            for lit in clause:
+                v = abs(lit)
+                val = (bits >> (v - 1)) & 1
+                if (lit > 0) == bool(val):
+                    sat = True
+                    break
+            if not sat:
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def check_model(clauses, model):
+    for clause in clauses:
+        assert any(
+            (lit > 0) == model[abs(lit)] for lit in clause
+        ), f"clause {clause} unsatisfied"
+
+
+class TestBasics:
+    def test_single_unit(self):
+        status, model = solve_cnf(1, [[1]])
+        assert status is SatStatus.SAT
+        assert model[1] is True
+
+    def test_contradiction(self):
+        status, _ = solve_cnf(1, [[1], [-1]])
+        assert status is SatStatus.UNSAT
+
+    def test_simple_implication_chain(self):
+        # x1 -> x2 -> x3, x1 true, x3 false: UNSAT
+        clauses = [[-1, 2], [-2, 3], [1], [-3]]
+        status, _ = solve_cnf(3, clauses)
+        assert status is SatStatus.UNSAT
+
+    def test_satisfiable_chain(self):
+        clauses = [[-1, 2], [-2, 3], [1]]
+        status, model = solve_cnf(3, clauses)
+        assert status is SatStatus.SAT
+        check_model(clauses, model)
+
+    def test_tautology_clause_ignored(self):
+        status, _ = solve_cnf(2, [[1, -1], [2]])
+        assert status is SatStatus.SAT
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # var p_{i,j}: pigeon i in hole j; i in 0..2, j in 0..1
+        def v(i, j):
+            return 1 + i * 2 + j
+
+        clauses = []
+        for i in range(3):
+            clauses.append([v(i, 0), v(i, 1)])
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    clauses.append([-v(i1, j), -v(i2, j)])
+        status, _ = solve_cnf(6, clauses)
+        assert status is SatStatus.UNSAT
+
+
+class TestRandomCrossCheck:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_3cnf_agrees_with_brute_force(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(3, 8)
+        num_clauses = rng.randint(2, 30)
+        clauses = []
+        for _ in range(num_clauses):
+            size = rng.randint(1, 3)
+            vars_ = rng.sample(range(1, num_vars + 1), min(size, num_vars))
+            clauses.append([v if rng.random() < 0.5 else -v for v in vars_])
+        expect = brute_force_sat(num_vars, clauses)
+        status, model = solve_cnf(num_vars, clauses)
+        assert (status is SatStatus.SAT) == expect
+        if model is not None:
+            check_model(clauses, model)
+
+
+class TestCnfBuilder:
+    def test_and_encoding(self):
+        b = CnfBuilder()
+        x, y = b.new_var(), b.new_var()
+        out = b.add_and([x, y])
+        for vx, vy in itertools.product((False, True), repeat=2):
+            clauses = list(b.clauses)
+            clauses.append([x] if vx else [-x])
+            clauses.append([y] if vy else [-y])
+            status, model = solve_cnf(b.num_vars, clauses)
+            assert status is SatStatus.SAT
+            assert model[out] == (vx and vy)
+
+    def test_maj3_encoding(self):
+        b = CnfBuilder()
+        x, y, z = b.new_var(), b.new_var(), b.new_var()
+        out = b.add_maj3(x, y, z)
+        for vx, vy, vz in itertools.product((False, True), repeat=3):
+            clauses = list(b.clauses)
+            clauses.append([x] if vx else [-x])
+            clauses.append([y] if vy else [-y])
+            clauses.append([z] if vz else [-z])
+            status, model = solve_cnf(b.num_vars, clauses)
+            assert status is SatStatus.SAT
+            assert model[out] == (int(vx) + int(vy) + int(vz) >= 2)
+
+    def test_xor_encoding(self):
+        b = CnfBuilder()
+        x, y, z = b.new_var(), b.new_var(), b.new_var()
+        out = b.add_xor([x, y, z])
+        for vx, vy, vz in itertools.product((False, True), repeat=3):
+            clauses = list(b.clauses)
+            clauses.append([x] if vx else [-x])
+            clauses.append([y] if vy else [-y])
+            clauses.append([z] if vz else [-z])
+            status, model = solve_cnf(b.num_vars, clauses)
+            assert status is SatStatus.SAT
+            assert model[abs(out)] == (
+                (vx ^ vy ^ vz) if out > 0 else not (vx ^ vy ^ vz)
+            )
+
+    def test_dimacs_output(self):
+        text = to_dimacs(2, [[1, -2], [2]])
+        assert text.splitlines()[0] == "p cnf 2 2"
+        assert "1 -2 0" in text
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_hypothesis_random_cnf(data):
+    num_vars = data.draw(st.integers(2, 6))
+    clauses = data.draw(
+        st.lists(
+            st.lists(
+                st.integers(1, num_vars).map(
+                    lambda v: v
+                ).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    expect = brute_force_sat(num_vars, clauses)
+    status, model = solve_cnf(num_vars, clauses)
+    assert (status is SatStatus.SAT) == expect
+    if model is not None:
+        check_model(clauses, model)

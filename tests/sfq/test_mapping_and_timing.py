@@ -1,0 +1,178 @@
+"""Tests for logic->SFQ mapping, decomposition, and the timing checker."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.network import Gate, LogicNetwork, check_equivalence, simulate_exhaustive
+from repro.sfq import (
+    CellKind,
+    SFQNetlist,
+    check_timing,
+    decompose_to_library,
+    default_library,
+    map_to_sfq,
+)
+from repro.network.cleanup import strash
+
+
+def test_map_simple_gates():
+    net = LogicNetwork()
+    a, b = net.add_pi("a"), net.add_pi("b")
+    g = net.add_and(a, b)
+    net.add_po(g, "y")
+    nl, sig = map_to_sfq(net, n_phases=4)
+    assert nl.stats() == {
+        "cells": 3, "gates": 1, "t1": 0, "dffs": 0, "pis": 2, "pos": 1
+    }
+
+
+def test_map_t1_block_and_taps():
+    net = LogicNetwork()
+    a, b, c = (net.add_pi() for _ in range(3))
+    cell = net.add_t1_cell(a, b, c)
+    s = net.add_t1_tap(cell, Gate.T1_S)
+    cn = net.add_t1_tap(cell, Gate.T1_CN)
+    net.add_po(s)
+    net.add_po(cn)
+    nl, _ = map_to_sfq(net)
+    stats = nl.stats()
+    assert stats["t1"] == 1
+    assert stats["gates"] == 1  # the inverter for C*
+    # the inverter is a NOT on the T1's C port
+    inv = next(c for c in nl.gate_cells())
+    assert inv.op is Gate.NOT
+    assert inv.fanins[0][1] == "C"
+
+
+def test_map_buf_is_free_wire():
+    net = LogicNetwork()
+    a = net.add_pi()
+    buf = net.add_buf(a)
+    g = net.add_not(buf)
+    net.add_po(g)
+    nl, _ = map_to_sfq(net)
+    assert nl.stats()["gates"] == 1
+
+
+def test_map_constant_fanin_rejected():
+    net = LogicNetwork()
+    a = net.add_pi()
+    g = net.add_and(a, 1)
+    net.add_po(g)
+    with pytest.raises(MappingError):
+        map_to_sfq(net)
+
+
+def test_map_constant_po_becomes_const_cell():
+    net = LogicNetwork()
+    net.add_pi()
+    net.add_po(0, "zero")
+    net.add_po(1, "one")
+    nl, _ = map_to_sfq(net)
+    kinds = [nl.cells[sig[0]].kind for sig, _n in nl.pos]
+    assert kinds == [CellKind.CONST0, CellKind.CONST1]
+
+
+def test_map_dead_logic_skipped():
+    net = LogicNetwork()
+    a, b = net.add_pi(), net.add_pi()
+    live = net.add_and(a, b)
+    net.add_or(a, b)  # dead
+    net.add_po(live)
+    nl, _ = map_to_sfq(net)
+    assert nl.stats()["gates"] == 1
+
+
+def test_decompose_wide_gates():
+    net = LogicNetwork()
+    pis = [net.add_pi() for _ in range(7)]
+    g = net.add_gate(Gate.AND, pis)
+    net.add_po(g)
+    out = decompose_to_library(net)
+    lib = default_library()
+    for node in out.nodes():
+        if out.is_logic(node) and out.gates[node] is Gate.AND:
+            assert len(out.fanins[node]) <= lib.max_arity(Gate.AND)
+    assert check_equivalence(net, out).equivalent
+
+
+def test_decompose_wide_inverted_gate():
+    net = LogicNetwork()
+    pis = [net.add_pi() for _ in range(6)]
+    g = net.add_gate(Gate.NOR, pis)
+    net.add_po(g)
+    out = decompose_to_library(net)
+    assert check_equivalence(net, out).equivalent
+
+
+def test_decompose_preserves_t1():
+    net = LogicNetwork()
+    a, b, c = (net.add_pi() for _ in range(3))
+    cell = net.add_t1_cell(a, b, c)
+    net.add_po(net.add_t1_tap(cell, Gate.T1_Q))
+    out = decompose_to_library(net)
+    assert len(out.t1_cells()) == 1
+
+
+class TestTimingChecker:
+    def _staged_pair(self, gap, n=4):
+        nl = SFQNetlist(n_phases=n)
+        a = nl.add_pi()
+        g1 = nl.add_gate(Gate.NOT, [(a, "out")])
+        g1.__class__  # silence lint
+        nl.cells[g1].stage = 1
+        g2 = nl.add_gate(Gate.NOT, [(g1, "out")])
+        nl.cells[g2].stage = 1 + gap
+        nl.add_po((g2, "out"))
+        return nl
+
+    def test_clean_netlist_passes(self):
+        report = check_timing(self._staged_pair(gap=3))
+        assert report.ok
+
+    def test_gap_over_n_flagged(self):
+        report = check_timing(self._staged_pair(gap=5))
+        assert not report.ok
+        assert "gap 5 > n=4" in report.violations[0]
+
+    def test_non_positive_gap_flagged(self):
+        report = check_timing(self._staged_pair(gap=0))
+        assert not report.ok
+
+    def test_missing_stage_flagged(self):
+        nl = SFQNetlist(n_phases=2)
+        a = nl.add_pi()
+        g = nl.add_gate(Gate.NOT, [(a, "out")])
+        nl.add_po((g, "out"))
+        report = check_timing(nl)
+        assert any("has no stage" in v for v in report.violations)
+
+    def test_t1_distinct_arrivals_enforced(self):
+        nl = SFQNetlist(n_phases=4)
+        a, b, c = nl.add_pi(), nl.add_pi(), nl.add_pi()
+        # stagger PI phases so freshness holds, then collide two of them
+        nl.cells[a].stage = 0
+        nl.cells[b].stage = 0  # collision with a
+        nl.cells[c].stage = 2
+        t = nl.add_t1((a, "out"), (b, "out"), (c, "out"))
+        nl.cells[t].stage = 4
+        nl.add_po((t, "S"))
+        report = check_timing(nl)
+        assert any("not pairwise distinct" in v for v in report.violations)
+
+    def test_pi_phase_in_epoch0_ok(self):
+        nl = SFQNetlist(n_phases=4)
+        a = nl.add_pi()
+        nl.cells[a].stage = 3
+        g = nl.add_gate(Gate.NOT, [(a, "out")])
+        nl.cells[g].stage = 4
+        nl.add_po((g, "out"))
+        assert check_timing(nl).ok
+
+    def test_pi_phase_outside_epoch0_flagged(self):
+        nl = SFQNetlist(n_phases=4)
+        a = nl.add_pi()
+        nl.cells[a].stage = 4
+        nl.add_po((a, "out"))
+        report = check_timing(nl)
+        assert any("outside" in v for v in report.violations)

@@ -1,0 +1,120 @@
+"""Tests for the behavioural T1 cell (Fig. 1 semantics)."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import HazardError
+from repro.sfq.t1_cell import (
+    T1CellState,
+    full_adder_cycle,
+    simulate_pulse_train,
+    waveform_ascii,
+)
+
+
+class TestStateMachine:
+    def test_first_toggle_emits_qstar(self):
+        cell = T1CellState()
+        assert cell.pulse_t(0) == ["Q*"]
+        assert cell.state == 1
+
+    def test_second_toggle_emits_cstar(self):
+        cell = T1CellState()
+        cell.pulse_t(0)
+        assert cell.pulse_t(1) == ["C*"]
+        assert cell.state == 0
+
+    def test_third_toggle_emits_qstar_again(self):
+        cell = T1CellState()
+        cell.pulse_t(0)
+        cell.pulse_t(1)
+        assert cell.pulse_t(2) == ["Q*"]
+        assert cell.state == 1
+
+    def test_reset_in_state1_emits_s(self):
+        cell = T1CellState()
+        cell.pulse_t(0)
+        assert cell.pulse_r(1) == ["S"]
+        assert cell.state == 0
+
+    def test_reset_in_state0_rejected_silently(self):
+        cell = T1CellState()
+        assert cell.pulse_r(0) == []
+        assert cell.state == 0
+
+    def test_overlapping_t_pulses_raise(self):
+        cell = T1CellState()
+        cell.pulse_t(5)
+        with pytest.raises(HazardError):
+            cell.pulse_t(5)
+
+    def test_t_pulses_at_distinct_times_fine(self):
+        cell = T1CellState()
+        cell.pulse_t(5)
+        cell.pulse_t(6)
+        cell.pulse_t(7)
+        assert cell.toggles_since_readout == 3
+
+
+class TestSynchronousReadout:
+    @pytest.mark.parametrize(
+        "a,b,c",
+        list(itertools.product((0, 1), repeat=3)),
+    )
+    def test_full_adder_truth_table(self, a, b, c):
+        s, carry, q = full_adder_cycle(a, b, c)
+        total = a + b + c
+        assert s == total % 2, "S must be XOR3"
+        assert carry == (1 if total >= 2 else 0), "C must be MAJ3"
+        assert q == (1 if total >= 1 else 0), "Q must be OR3"
+
+    def test_readout_resets_for_next_cycle(self):
+        cell = T1CellState()
+        cell.pulse_t(0)
+        cell.readout(1)
+        out = cell.readout(2)
+        assert out == {"S": 0, "C": 0, "Q": 0}
+
+
+class TestFig1bReproduction:
+    def test_figure_pulse_train(self):
+        # Fig. 1b stimulus: first cycle only a; second a,b; third a,b,c;
+        # each followed by a clock (R) pulse.
+        events = [
+            (0, "T"), (3, "R"),                      # a       -> S
+            (4, "T"), (5, "T"), (7, "R"),            # a, b    -> C*, no S
+            (8, "T"), (9, "T"), (10, "T"), (11, "R"),  # a, b, c -> S and C*
+        ]
+        history = simulate_pulse_train(events)
+        s_times = [e.time for e in history if e.port == "S"]
+        c_times = [e.time for e in history if e.port == "C*"]
+        q_times = [e.time for e in history if e.port == "Q*"]
+        assert s_times == [3, 11]
+        assert c_times == [5, 9]
+        assert q_times == [0, 4, 8, 10]
+
+    def test_waveform_render(self):
+        history = simulate_pulse_train([(0, "T"), (2, "R")])
+        text = waveform_ascii(history)
+        lines = text.splitlines()
+        assert lines[0].startswith("  T |")
+        assert any(line.startswith("  S") for line in lines)
+
+
+@given(st.lists(st.sampled_from(["T", "R"]), min_size=0, max_size=30))
+def test_state_invariant_parity(ops):
+    """After any pulse sequence the loop state equals the parity of T
+    pulses since the last state-clearing event (R or C* emission)."""
+    cell = T1CellState()
+    state = 0
+    for i, op in enumerate(ops):
+        if op == "T":
+            cell.pulse_t(i)
+            state ^= 1
+        else:
+            cell.pulse_r(i)
+            state = 0
+        assert cell.state == state

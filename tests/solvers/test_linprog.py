@@ -1,0 +1,66 @@
+"""Tests for the simplex LP solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleError, UnboundedError
+from repro.solvers import solve_lp
+
+
+def test_simple_minimization():
+    # min x + y s.t. x + y >= 2 encoded as -x - y <= -2
+    res = solve_lp([1, 1], a_ub=[[-1, -1]], b_ub=[-2])
+    assert res.objective == pytest.approx(2.0)
+
+
+def test_bounded_maximization_as_min():
+    # max 3x + 2y s.t. x <= 4, y <= 3, x + y <= 5  -> x=4, y=1 -> 14
+    res = solve_lp(
+        [-3, -2],
+        a_ub=[[1, 0], [0, 1], [1, 1]],
+        b_ub=[4, 3, 5],
+    )
+    assert -res.objective == pytest.approx(14.0)
+    assert res.x[0] == pytest.approx(4.0)
+    assert res.x[1] == pytest.approx(1.0)
+
+
+def test_equality_constraints():
+    # min x + 2y s.t. x + y == 3, x <= 1 -> x=1, y=2 -> 5
+    res = solve_lp([1, 2], a_ub=[[1, 0]], b_ub=[1], a_eq=[[1, 1]], b_eq=[3])
+    assert res.objective == pytest.approx(5.0)
+
+
+def test_infeasible():
+    # x <= 1 and x >= 2
+    with pytest.raises(InfeasibleError):
+        solve_lp([1], a_ub=[[1], [-1]], b_ub=[1, -2])
+
+
+def test_unbounded():
+    # min -x with no upper bound on x
+    with pytest.raises(UnboundedError):
+        solve_lp([-1], a_ub=[[-1]], b_ub=[0])
+
+
+def test_degenerate_ok():
+    # redundant constraints should not cycle
+    res = solve_lp(
+        [1, 1],
+        a_ub=[[-1, 0], [0, -1], [-1, -1], [-1, -1]],
+        b_ub=[0, 0, -1, -1],
+    )
+    assert res.objective == pytest.approx(1.0)
+
+
+def test_no_constraints_zero_solution():
+    res = solve_lp([1, 2])
+    assert res.objective == 0.0
+
+
+def test_path_balancing_lp_shape():
+    # chain a->b->c: min (sb - sa - 1) + (sc - sb - 1), sa=0, gaps >= 1
+    # variables: sb, sc ; min sb-... -> optimum gaps exactly 1
+    # min (sb - 1) + (sc - sb - 1) = sc - 2 s.t. sb >= 1, sc - sb >= 1
+    res = solve_lp([0, 1], a_ub=[[-1, 0], [1, -1]], b_ub=[-1, -1])
+    assert res.x[1] == pytest.approx(2.0)

@@ -1,0 +1,156 @@
+"""Tests for branch-and-bound MILP, incl. brute-force cross-checks."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.errors import InfeasibleError
+from repro.solvers import MilpModel
+
+
+def test_integer_rounding_matters():
+    # LP optimum fractional; integer optimum differs
+    # max x + y s.t. 2x + 3y <= 6, 3x + 2y <= 6  (LP opt at x=y=1.2)
+    m = MilpModel()
+    x = m.add_var(0, 10, name="x")
+    y = m.add_var(0, 10, name="y")
+    m.add_constraint({x: 2, y: 3}, "<=", 6)
+    m.add_constraint({x: 3, y: 2}, "<=", 6)
+    m.maximize({x: 1, y: 1})
+    sol = m.solve()
+    assert sol.objective == pytest.approx(2.0)
+
+
+def test_knapsack():
+    values = [10, 13, 7, 8]
+    weights = [3, 4, 2, 3]
+    cap = 6
+    m = MilpModel()
+    xs = [m.add_var(0, 1, name=f"x{i}") for i in range(4)]
+    m.add_constraint({x: w for x, w in zip(xs, weights)}, "<=", cap)
+    m.maximize({x: v for x, v in zip(xs, values)})
+    sol = m.solve()
+    # brute force
+    best = max(
+        sum(v for v, w, t in zip(values, weights, combo) if t)
+        for combo in itertools.product((0, 1), repeat=4)
+        if sum(w for w, t in zip(weights, combo) if t) <= cap
+    )
+    assert sol.objective == pytest.approx(best)
+
+
+def test_equality_integer():
+    m = MilpModel()
+    x = m.add_var(0, 100)
+    y = m.add_var(0, 100)
+    m.add_constraint({x: 1, y: 1}, "==", 7)
+    m.add_constraint({x: 1, y: -1}, ">=", 1)
+    m.minimize({x: 1})
+    sol = m.solve()
+    assert sol.int_value(x) == 4
+    assert sol.int_value(y) == 3
+
+
+def test_infeasible():
+    m = MilpModel()
+    x = m.add_var(0, 1)
+    m.add_constraint({x: 1}, ">=", 2)
+    with pytest.raises(InfeasibleError):
+        m.solve()
+
+
+def test_continuous_mixed():
+    m = MilpModel()
+    x = m.add_var(0, 10, integer=True)
+    y = m.add_var(0, 10, integer=False)
+    m.add_constraint({x: 1, y: 1}, ">=", 2.5)
+    m.minimize({x: 10, y: 1})
+    sol = m.solve()
+    assert sol.value(y) == pytest.approx(2.5)
+    assert sol.int_value(x) == 0
+
+
+def test_var_lower_bounds():
+    m = MilpModel()
+    x = m.add_var(3, 10)
+    m.minimize({x: 1})
+    sol = m.solve()
+    assert sol.int_value(x) == 3
+
+
+def test_negative_lower_bounds():
+    m = MilpModel()
+    x = m.add_var(-5, 5)
+    m.minimize({x: 1})
+    sol = m.solve()
+    assert sol.int_value(x) == -5
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_random_small_ilp_vs_brute_force(seed):
+    rng = random.Random(seed)
+    n = rng.randint(2, 4)
+    ub = 4
+    m = MilpModel()
+    xs = [m.add_var(0, ub) for _ in range(n)]
+    cons = []
+    for _ in range(rng.randint(1, 4)):
+        coeffs = [rng.randint(-3, 3) for _ in range(n)]
+        rhs = rng.randint(0, 10)
+        sense = rng.choice(["<=", ">="])
+        cons.append((coeffs, sense, rhs))
+        m.add_constraint({x: c for x, c in zip(xs, coeffs)}, sense, rhs)
+    obj = [rng.randint(-3, 3) for _ in range(n)]
+    m.minimize({x: c for x, c in zip(xs, obj)})
+
+    best = None
+    for point in itertools.product(range(ub + 1), repeat=n):
+        ok = all(
+            (sum(c * p for c, p in zip(coeffs, point)) <= rhs)
+            if sense == "<="
+            else (sum(c * p for c, p in zip(coeffs, point)) >= rhs)
+            for coeffs, sense, rhs in cons
+        )
+        if ok:
+            val = sum(c * p for c, p in zip(obj, point))
+            if best is None or val < best:
+                best = val
+    if best is None:
+        with pytest.raises(InfeasibleError):
+            m.solve()
+    else:
+        sol = m.solve()
+        assert sol.objective == pytest.approx(best)
+
+
+def test_phase_assignment_style_model():
+    """Miniature of the paper's ILP: chain of 4 gates, n=2 phases.
+
+    sigma(PI)=0; gaps >= 1; DFFs on edge = ceil(gap/n) - 1 modelled with
+    k_e: n*k_e >= gap, k_e >= 1, minimise sum(k_e - 1).
+    """
+    n_phases = 2
+    m = MilpModel()
+    sigmas = [m.add_var(0, 20, name=f"s{i}") for i in range(4)]
+    ks = []
+    edges = [(None, 0), (0, 1), (1, 2), (2, 3)]
+    for u, v in edges:
+        k = m.add_var(1, 20, name=f"k{v}")
+        ks.append(k)
+        if u is None:
+            # from PI at stage 0
+            m.add_constraint({sigmas[v]: 1}, ">=", 1)
+            m.add_constraint({k: n_phases, sigmas[v]: -1}, ">=", 0)
+        else:
+            m.add_constraint({sigmas[v]: 1, sigmas[u]: -1}, ">=", 1)
+            m.add_constraint({k: n_phases, sigmas[v]: -1, sigmas[u]: 1}, ">=", 0)
+    m.minimize({k: 1 for k in ks})
+    sol = m.solve()
+    # all gaps can be 1..2, so every k_e == 1 (zero DFFs)
+    assert sol.objective == pytest.approx(4.0)
+    stages = [sol.int_value(s) for s in sigmas]
+    assert all(
+        1 <= b - a <= 2 for a, b in zip([0] + stages[:-1], stages)
+    )

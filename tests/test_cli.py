@@ -1,0 +1,95 @@
+"""Tests for the repro-flow CLI."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("adder", "c6288", "log2"):
+        assert name in out
+
+
+def test_run_benchmark_ci(capsys):
+    assert main(["run", "adder", "--preset", "ci", "--t1"]) == 0
+    out = capsys.readouterr().out
+    assert "T1 cells  : found 15, used 15" in out
+    assert "area (JJ)" in out
+
+
+def test_run_baseline_no_t1(capsys):
+    assert main(["run", "adder", "--preset", "ci", "-n", "1",
+                 "--verify", "none"]) == 0
+    out = capsys.readouterr().out
+    assert "1-phase" in out
+
+
+def test_run_blif_file(tmp_path, capsys):
+    from repro.circuits import ripple_carry_adder
+    from repro.io import write_blif
+
+    path = tmp_path / "add.blif"
+    with open(path, "w") as fh:
+        write_blif(ripple_carry_adder(4), fh)
+    assert main(["run", str(path), "--t1", "--verify", "full"]) == 0
+    out = capsys.readouterr().out
+    assert "verified  : True" in out
+
+
+def test_run_writes_dot(tmp_path, capsys):
+    dot = tmp_path / "out.dot"
+    assert main(
+        ["run", "adder", "--preset", "ci", "--t1", "--dot", str(dot)]
+    ) == 0
+    assert dot.read_text().startswith("digraph")
+
+
+def test_table_subset(capsys):
+    assert main(
+        ["table", "adder", "c6288", "--preset", "ci", "--verify", "none"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "adder" in out
+    assert "c6288" in out
+    assert "Average" in out
+
+
+def test_fig1b(capsys):
+    assert main(["fig1b"]) == 0
+    out = capsys.readouterr().out
+    assert "T1 cell pulse-level simulation" in out
+    assert "|" in out
+
+
+def test_run_with_energy(capsys):
+    assert main(["run", "adder", "--preset", "ci", "--t1", "--energy",
+                 "--frequency", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "energy    :" in out
+    assert "30 GHz" in out
+
+
+def test_run_with_balance(capsys):
+    assert main(["run", "c7552", "--preset", "ci", "--balance",
+                 "--verify", "none"]) == 0
+    assert "area (JJ)" in capsys.readouterr().out
+
+
+def test_run_per_edge_insertion(capsys):
+    assert main(["run", "adder", "--preset", "ci", "--no-share",
+                 "--verify", "none"]) == 0
+    assert "#DFF" in capsys.readouterr().out
+
+
+def test_unknown_benchmark():
+    with pytest.raises(SystemExit):
+        main(["run", "nonesuch"])
+
+
+def test_parser_has_all_commands():
+    parser = make_parser()
+    text = parser.format_help()
+    for cmd in ("list", "run", "table", "fig1b"):
+        assert cmd in text

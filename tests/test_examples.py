@@ -1,0 +1,35 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are user-facing deliverables; a broken one is a bug.  Each runs
+in a subprocess in the repository root (some write artefact files into
+cwd; a tmp cwd keeps the tree clean).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_expected_examples_present():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example, tmp_path):
+    script = pathlib.Path(__file__).parent.parent / "examples" / example
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print something"
