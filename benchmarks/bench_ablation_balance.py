@@ -4,20 +4,25 @@ Depth == DFFs in gate-level-pipelined SFQ, so rebalancing associative
 chains is an area optimisation here, not only a timing one.  This
 ablation measures its interaction with T1 detection: balancing can break
 linear XOR3/MAJ3 chains into tree shapes, changing which T1 groups exist.
+
+Expressed with the pipeline API: the balanced variant *inserts* a
+``BalancePass`` after decomposition instead of toggling a flow boolean.
 """
 
 import pytest
 
 from repro.circuits import build
-from repro.core import FlowConfig, run_flow
+from repro.pipeline import BalancePass, Pipeline
+
+T1_PIPE = Pipeline.standard(n_phases=4, verify="none")
+BASE_PIPE = T1_PIPE.without("t1_detect")
 
 
-def _flow(net, balance, use_t1):
-    return run_flow(
-        net,
-        FlowConfig(n_phases=4, use_t1=use_t1, balance_network=balance,
-                   verify="none"),
-    )
+def _pipeline(balance, use_t1):
+    pipe = T1_PIPE if use_t1 else BASE_PIPE
+    if balance:
+        pipe = pipe.with_pass(BalancePass(), after="decompose")
+    return pipe
 
 
 @pytest.mark.parametrize("balance", [False, True])
@@ -25,9 +30,8 @@ def _flow(net, balance, use_t1):
 def test_balance_ablation(benchmark, preset, balance, use_t1):
     benchmark.group = "ablation-balance"
     net = build("c7552", preset)
-    res = benchmark.pedantic(
-        _flow, args=(net, balance, use_t1), rounds=1, iterations=1
-    )
+    pipe = _pipeline(balance, use_t1)
+    res = benchmark.pedantic(pipe.run, args=(net,), rounds=1, iterations=1)
     benchmark.extra_info.update(
         {"balance": balance, "t1": use_t1, "area": res.area_jj,
          "dffs": res.num_dffs, "depth": res.depth_cycles,
@@ -36,10 +40,19 @@ def test_balance_ablation(benchmark, preset, balance, use_t1):
     assert res.area_jj > 0
 
 
+def test_balance_pass_is_inserted_not_toggled():
+    """The two variants differ by exactly the inserted pass."""
+    plain = _pipeline(False, True)
+    balanced = _pipeline(True, True)
+    assert balanced.names() == (
+        plain.names()[:1] + ["balance"] + plain.names()[1:]
+    )
+
+
 def test_balance_never_deepens(preset):
     net = build("c7552", preset)
-    plain = _flow(net, False, False)
-    balanced = _flow(net, True, False)
+    plain = _pipeline(False, False).run(net)
+    balanced = _pipeline(True, False).run(net)
     assert balanced.depth_cycles <= plain.depth_cycles
 
 

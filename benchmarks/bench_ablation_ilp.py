@@ -65,3 +65,17 @@ def test_heuristic_speed(benchmark):
     )
     insert_dffs(nl)
     benchmark.extra_info["dffs"] = nl.num_dffs()
+
+
+def test_ilp_as_pass_replacement():
+    """The exact assignment drops into the standard pipeline by name."""
+    from repro.pipeline import IlpPhasePass, Pipeline
+
+    pipe = Pipeline.standard(n_phases=4, use_t1=False, verify="none")
+    exact = pipe.replace("phase_assign", IlpPhasePass())
+    assert exact.names() == pipe.names()
+
+    net, _ = strash(ripple_carry_adder(3))
+    res = exact.run(net)
+    assert res.timings["phase_assign"] > 0
+    assert res.metrics.depth_cycles >= 1

@@ -4,18 +4,30 @@ The paper attributes the T1 losses on c7552/sin to circuit deepening:
 extra T1 stages force additional path balancing.  Sweeping n isolates the
 effect: DFFs fall ~1/n, the T1 area benefit appears only for n >= 3, and
 the depth overhead of T1 shrinks as n grows.
+
+Expressed with the pipeline API: the baseline flow is the T1 pipeline
+*without* its detection pass (see ``test_baseline_is_t1_without_detect``).
 """
 
 import pytest
 
 from repro.circuits import build
-from repro.core import FlowConfig, run_flow
+from repro.pipeline import Pipeline
 
 
 def _flow(net, n, use_t1):
-    return run_flow(
-        net, FlowConfig(n_phases=n, use_t1=use_t1, verify="none")
-    )
+    return Pipeline.standard(n_phases=n, use_t1=use_t1, verify="none").run(net)
+
+
+def test_baseline_is_t1_without_detect(preset):
+    """Removing the detection pass IS the multiphase baseline."""
+    t1_pipe = Pipeline.standard(n_phases=4, verify="none")
+    base_pipe = t1_pipe.without("t1_detect")
+    assert base_pipe.names() == Pipeline.standard(
+        n_phases=4, use_t1=False, verify="none"
+    ).names()
+    net = build("c6288", preset)
+    assert base_pipe.run(net).metrics == _flow(net, 4, False).metrics
 
 
 @pytest.mark.parametrize("n", [1, 2, 4, 8])
@@ -57,4 +69,4 @@ def test_t1_requires_three_phases():
     from repro.errors import ReproError
 
     with pytest.raises(ReproError):
-        FlowConfig(n_phases=2, use_t1=True)
+        Pipeline.standard(n_phases=2, use_t1=True)

@@ -6,20 +6,26 @@ insertion recovers only part of the sharing.  This ablation quantifies the
 difference — it explains why our baselines are stronger than the paper's
 and therefore why our T1-vs-4φ ratios are conservative (see
 EXPERIMENTS.md).
+
+Expressed with the pipeline API: the per-edge variant *replaces* the
+``dff_insert`` pass with one configured for per-edge chains.
 """
 
 import pytest
 
 from repro.circuits import build
-from repro.core import FlowConfig, run_flow
+from repro.pipeline import DffInsertPass, Pipeline
+
+
+def _pipeline(share, use_t1=False, n=4):
+    pipe = Pipeline.standard(n_phases=n, use_t1=use_t1, verify="none")
+    if not share:
+        pipe = pipe.replace("dff_insert", DffInsertPass(share_chains=False))
+    return pipe
 
 
 def _flow(net, share, use_t1=False, n=4):
-    return run_flow(
-        net,
-        FlowConfig(n_phases=n, use_t1=use_t1, share_chains=share,
-                   verify="none"),
-    )
+    return _pipeline(share, use_t1, n).run(net)
 
 
 @pytest.mark.parametrize("share", [True, False])

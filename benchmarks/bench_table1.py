@@ -15,14 +15,13 @@ side-by-side comparison against the published numbers) is produced by::
 
 import pytest
 
-from repro.circuits import TABLE1_ORDER, build
-from repro.core import PAPER_TABLE1, TableRow, run_baselines_and_t1
+from repro.circuits import TABLE1_ORDER
+from repro.core import PAPER_TABLE1, TableRow
+from repro.pipeline import run_table
 
 
 def _run_row(name: str, preset: str) -> TableRow:
-    net = build(name, preset)
-    results = run_baselines_and_t1(net, n_phases=4, verify="none")
-    return TableRow.from_results(name, results)
+    return run_table([name], preset=preset, n_phases=4, verify="none").rows[0]
 
 
 @pytest.mark.parametrize("name", TABLE1_ORDER)

@@ -3,7 +3,7 @@
 Run with::
 
     python benchmarks/table1_report.py [--sweeps N] [--preset paper|ci]
-                                       [--markdown out.md]
+                                       [--jobs N] [--markdown out.md]
 
 Prints the Table-I layout (same columns, same thousands separators) and a
 measured-vs-paper ratio comparison; optionally writes a Markdown report
@@ -17,27 +17,19 @@ import sys
 import time
 from typing import Dict, List
 
-from repro.circuits import TABLE1_ORDER, build
-from repro.core import (
-    PAPER_AVERAGES,
-    PAPER_TABLE1,
-    Table,
-    TableRow,
-    run_baselines_and_t1,
-)
+from repro.core import PAPER_AVERAGES, PAPER_TABLE1, Table
+from repro.pipeline import run_table
 
 
-def collect(preset: str, sweeps: int, verify: str) -> Table:
-    rows: List[TableRow] = []
-    for name in TABLE1_ORDER:
-        t0 = time.time()
-        net = build(name, preset)
-        results = run_baselines_and_t1(
-            net, n_phases=4, verify=verify, sweeps=sweeps
-        )
-        rows.append(TableRow.from_results(name, results))
-        print(f"  [{name}: {time.time() - t0:.1f}s]", file=sys.stderr)
-    return Table(rows, n_phases=4)
+def collect(preset: str, sweeps: int, verify: str, jobs: int = 1) -> Table:
+    return run_table(
+        preset=preset,
+        n_phases=4,
+        verify=verify,
+        sweeps=sweeps,
+        jobs=jobs,
+        progress=lambda name: print(f"  [{name}: done]", file=sys.stderr),
+    )
 
 
 def comparison_lines(table: Table) -> List[str]:
@@ -99,11 +91,13 @@ def main(argv=None) -> int:
     p.add_argument("--preset", choices=("paper", "ci"), default="paper")
     p.add_argument("--sweeps", type=int, default=4)
     p.add_argument("--verify", choices=("none", "cec"), default="none")
+    p.add_argument("--jobs", "-j", type=int, default=1,
+                   help="worker processes for the batch runner")
     p.add_argument("--markdown", help="write a markdown comparison table")
     args = p.parse_args(argv)
 
     t0 = time.time()
-    table = collect(args.preset, args.sweeps, args.verify)
+    table = collect(args.preset, args.sweeps, args.verify, args.jobs)
     print()
     print(f"Table I reproduction ({args.preset} preset)")
     print(table.format())

@@ -14,8 +14,8 @@ Run with::
 """
 
 from repro.circuits import ripple_carry_adder
-from repro.core import Table, TableRow, run_baselines_and_t1
-from repro.metrics import measure
+from repro.core import Table, TableRow
+from repro.pipeline import baseline_pipelines, run_many
 from repro.sfq import default_library
 
 
@@ -23,7 +23,10 @@ def main() -> None:
     net = ripple_carry_adder(128)
     print(f"building and mapping {net.name} "
           f"({net.num_gates()} gates, depth 128)...\n")
-    results = run_baselines_and_t1(net, n_phases=4, verify="none")
+    # the three flows are independent — fan them over a process pool
+    flows = baseline_pipelines(n_phases=4, verify="none")
+    contexts = run_many([(net, pipe) for pipe in flows.values()], jobs=3)
+    results = dict(zip(flows, contexts))
 
     row = TableRow.from_results("adder", results)
     print(Table([row]).format())

@@ -13,9 +13,9 @@ Run with::
 import io
 
 from repro.circuits import ge_const, popcount_bus
-from repro.core import FlowConfig, run_flow
 from repro.io import dumps_blif, dumps_netlist_dot, loads_blif
 from repro.network import LogicNetwork, check_equivalence
+from repro.pipeline import Pipeline
 
 
 def build_design() -> LogicNetwork:
@@ -40,9 +40,10 @@ def main() -> None:
     assert check_equivalence(net, reread).equivalent
     print("BLIF round-trip: equivalent")
 
-    # baseline vs T1 flow
-    base = run_flow(reread, FlowConfig(n_phases=4, use_t1=False, verify="none"))
-    t1 = run_flow(reread, FlowConfig(n_phases=4, use_t1=True, verify="cec"))
+    # baseline vs T1 flow: one pipeline, the baseline drops one pass
+    t1_pipe = Pipeline.standard(n_phases=4, use_t1=True, verify="cec")
+    base = t1_pipe.without("t1_detect").with_verify("none").run(reread)
+    t1 = t1_pipe.run(reread)
 
     print(f"\n{'':>10} {'#DFF':>6} {'area JJ':>8} {'depth':>6}")
     print(f"{'4-phase':>10} {base.num_dffs:>6} {base.area_jj:>8} "

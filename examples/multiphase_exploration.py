@@ -14,7 +14,7 @@ Run with::
 """
 
 from repro.circuits import c6288_like
-from repro.core import FlowConfig, run_flow
+from repro.pipeline import Pipeline
 
 
 def main() -> None:
@@ -22,15 +22,15 @@ def main() -> None:
     print(f"circuit: {net.name} ({net.num_gates()} gates)\n")
     print(f"{'n':>3} {'flow':>8} {'#DFF':>7} {'area JJ':>9} {'depth':>6}")
     for n in (1, 2, 3, 4, 6, 8):
-        base = run_flow(
-            net, FlowConfig(n_phases=n, use_t1=False, verify="none")
-        )
+        base = Pipeline.standard(
+            n_phases=n, use_t1=False, verify="none"
+        ).run(net)
         print(f"{n:>3} {'base':>8} {base.num_dffs:>7} {base.area_jj:>9} "
               f"{base.depth_cycles:>6}")
         if n >= 3:
-            t1 = run_flow(
-                net, FlowConfig(n_phases=n, use_t1=True, verify="none")
-            )
+            t1 = Pipeline.standard(
+                n_phases=n, use_t1=True, verify="none"
+            ).run(net)
             print(f"{n:>3} {'+T1':>8} {t1.num_dffs:>7} {t1.area_jj:>9} "
                   f"{t1.depth_cycles:>6}   "
                   f"(T1 used: {t1.t1_used})")

@@ -6,7 +6,7 @@ Run with::
 """
 
 from repro.circuits import ripple_carry_adder
-from repro.core import FlowConfig, run_baselines_and_t1, run_flow
+from repro.pipeline import Pipeline, baseline_pipelines, run_many
 
 
 def main() -> None:
@@ -18,17 +18,22 @@ def main() -> None:
     # 2. run the paper's T1 flow: detection -> phase assignment -> DFFs.
     #    verify="full" additionally streams random waves through the
     #    pulse-level simulator and compares against the logic model.
-    result = run_flow(net, FlowConfig(n_phases=4, use_t1=True, verify="full"))
+    pipeline = Pipeline.standard(n_phases=4, use_t1=True, verify="full")
+    result = pipeline.run(net)
 
-    print(f"\nT1 cells found/used : {result.t1_found}/{result.t1_used}")
+    print(f"\npasses              : {' -> '.join(pipeline.names())}")
+    print(f"T1 cells found/used : {result.t1_found}/{result.t1_used}")
     print(f"path-balancing DFFs : {result.num_dffs}")
     print(f"area                : {result.area_jj} JJ")
     print(f"depth               : {result.depth_cycles} cycles")
     print(f"functionally correct: {result.verified}")
 
-    # 3. compare against the paper's two baselines (1-phase, 4-phase)
+    # 3. compare against the paper's two baselines (1-phase, 4-phase).
+    #    run_many batches flow executions (jobs=N runs on a process pool).
     print("\nbaseline comparison:")
-    results = run_baselines_and_t1(net, verify="none")
+    flows = baseline_pipelines(n_phases=4, verify="none")
+    contexts = run_many([(net, pipe) for pipe in flows.values()])
+    results = dict(zip(flows, contexts))
     for label, res in results.items():
         print(f"  {label:>5}: dffs={res.num_dffs:>5} area={res.area_jj:>7} JJ "
               f"depth={res.depth_cycles:>3} cycles")

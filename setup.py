@@ -1,1 +1,10 @@
-from setuptools import setup; setup()
+"""Legacy installer shim for tooling that still invokes ``setup.py``.
+
+Canonical package metadata (name, version, entry points, python_requires)
+lives in ``pyproject.toml``; setuptools reads it from there, so nothing
+may be redeclared here without creating a conflict.
+"""
+
+from setuptools import setup
+
+setup()

@@ -3,17 +3,20 @@ Arithmetic Circuits" (DATE 2024).
 
 Top-level convenience re-exports; see subpackages for the full API:
 
+* :mod:`repro.pipeline` — **primary API**: composable Pass/Pipeline
+  flows and the ``run_many`` batch executor
 * :mod:`repro.network` — logic-network kernel (mockturtle replacement)
 * :mod:`repro.sat`, :mod:`repro.solvers` — SAT / LP / MILP / CP engines
 * :mod:`repro.sfq` — SFQ technology substrate and pulse-level simulator
-* :mod:`repro.core` — the paper's T1-aware technology-mapping flow
+* :mod:`repro.core` — T1 detection / phase assignment / DFF insertion
+  algorithms and the legacy ``run_flow`` shim
 * :mod:`repro.circuits` — benchmark circuit generators
 * :mod:`repro.io` — BLIF / bench / dot
 """
 
 from repro.network import Gate, LogicNetwork, TruthTable
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["Gate", "LogicNetwork", "TruthTable", "__version__"]
 
@@ -23,6 +26,10 @@ def __getattr__(name):
         from repro import core
 
         return getattr(core, name)
+    if name in ("Pipeline", "FlowContext", "run_many", "run_table"):
+        from repro import pipeline
+
+        return getattr(pipeline, name)
     if name == "benchmark_registry":
         from repro.circuits import registry
 

@@ -3,10 +3,14 @@
 Examples::
 
     repro-flow run adder --phases 4 --t1            # one flow, one circuit
-    repro-flow table --preset ci                    # the Table-I comparison
+    repro-flow run adder --t1 --timings             # + per-pass breakdown
+    repro-flow table --preset ci --jobs 4           # Table I, 4 workers
     repro-flow list                                 # registered benchmarks
     repro-flow run mydesign.blif --t1 --verify full # external netlist
     repro-flow fig1b                                # T1 pulse waveform
+
+Flows are composed with :mod:`repro.pipeline` and batched with
+:func:`repro.pipeline.run_many`.
 """
 
 from __future__ import annotations
@@ -16,14 +20,9 @@ import sys
 from typing import List, Optional
 
 from repro.circuits import benchmark_registry, build, names
-from repro.core import (
-    FlowConfig,
-    Table,
-    TableRow,
-    run_baselines_and_t1,
-    run_flow,
-)
+from repro.errors import ReproError
 from repro.network.logic_network import LogicNetwork
+from repro.pipeline import Pipeline, run_table
 
 
 def _load_network(source: str, preset: str) -> LogicNetwork:
@@ -55,7 +54,7 @@ def _cmd_list(_args) -> int:
 
 def _cmd_run(args) -> int:
     net = _load_network(args.benchmark, args.preset)
-    config = FlowConfig(
+    pipeline = Pipeline.standard(
         n_phases=args.phases,
         use_t1=args.t1,
         verify=args.verify,
@@ -64,44 +63,49 @@ def _cmd_run(args) -> int:
         share_chains=not args.no_share,
         balance_network=args.balance,
     )
-    res = run_flow(net, config)
-    m = res.metrics
+    ctx = pipeline.run(net)
+    m = ctx.metrics
     print(f"benchmark : {net.name}")
     print(f"flow      : {'T1 + ' if args.t1 else ''}{args.phases}-phase")
     if args.t1:
-        print(f"T1 cells  : found {res.t1_found}, used {res.t1_used}")
+        print(f"T1 cells  : found {ctx.t1_found}, used {ctx.t1_used}")
     print(f"#DFF      : {m.num_dffs}")
     print(f"area (JJ) : {m.area_jj}")
     print(f"depth     : {m.depth_cycles} cycles")
     print(f"splitters : {m.num_splitters}")
-    print(f"runtime   : {res.runtime_s:.2f} s")
-    if res.verified is not None:
-        print(f"verified  : {res.verified}")
+    print(f"runtime   : {ctx.runtime_s:.2f} s")
+    if ctx.verified is not None:
+        print(f"verified  : {ctx.verified}")
+    if args.timings:
+        print("per-pass timing:")
+        for pass_name, seconds in ctx.timings.items():
+            print(f"  {pass_name:<22} {seconds:>8.3f} s")
     if args.energy:
         from repro.sfq import estimate_energy
 
-        rep = estimate_energy(res.netlist, frequency_ghz=args.frequency)
+        rep = estimate_energy(ctx.netlist, frequency_ghz=args.frequency)
         print(f"energy    : {rep.summary()}")
     if args.dot:
         from repro.io import netlist_to_dot
 
         with open(args.dot, "w") as fh:
-            netlist_to_dot(res.netlist, fh)
+            netlist_to_dot(ctx.netlist, fh)
         print(f"wrote {args.dot}")
     return 0
 
 
 def _cmd_table(args) -> int:
-    rows: List[TableRow] = []
-    targets = args.benchmarks or list(names())
-    for name in targets:
-        net = _load_network(name, args.preset)
-        results = run_baselines_and_t1(
-            net, n_phases=args.phases, verify=args.verify, sweeps=args.sweeps
-        )
-        rows.append(TableRow.from_results(name, results))
-        print(f"[{name}: done]", file=sys.stderr)
-    table = Table(rows, n_phases=args.phases)
+    table = run_table(
+        benchmarks=args.benchmarks or list(names()),
+        preset=args.preset,
+        n_phases=args.phases,
+        verify=args.verify,
+        sweeps=args.sweeps,
+        jobs=args.jobs,
+        progress=lambda name: print(f"[{name}: done]", file=sys.stderr),
+        # registry names and external .blif/.bench files both work
+        loader=lambda name: _load_network(name, args.preset),
+    )
     print(table.format())
     return 0
 
@@ -153,6 +157,8 @@ def make_parser() -> argparse.ArgumentParser:
                        help="clock frequency in GHz for --energy")
     run_p.add_argument("--balance", action="store_true",
                        help="depth-rebalance associative trees first")
+    run_p.add_argument("--timings", action="store_true",
+                       help="print the per-pass timing breakdown")
     run_p.set_defaults(fn=_cmd_run)
 
     tab_p = sub.add_parser("table", help="reproduce Table I")
@@ -167,6 +173,8 @@ def make_parser() -> argparse.ArgumentParser:
         "--verify", choices=("none", "cec", "full"), default="none"
     )
     tab_p.add_argument("--sweeps", type=int, default=4)
+    tab_p.add_argument("--jobs", "-j", type=int, default=1,
+                       help="worker processes for the batch runner")
     tab_p.set_defaults(fn=_cmd_table)
 
     sub.add_parser(
@@ -177,7 +185,11 @@ def make_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = make_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

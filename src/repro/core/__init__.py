@@ -1,4 +1,10 @@
-"""The paper's contribution: the three-stage T1-aware mapping flow."""
+"""The paper's contribution: the three-stage T1-aware mapping flow.
+
+The stage algorithms (detection, phase assignment, DFF insertion) and
+the Table-I reporting live here; flow *orchestration* moved to
+:mod:`repro.pipeline`, and ``run_flow`` / ``FlowConfig`` remain as thin
+shims over it (see :mod:`repro.core.flow`).
+"""
 
 from repro.core.dff_insertion import (
     InsertionReport,

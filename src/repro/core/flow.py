@@ -1,6 +1,16 @@
-"""End-to-end T1-aware technology-mapping flow (§II + §III).
+"""End-to-end T1-aware technology-mapping flow (§II + §III) — legacy shim.
 
-``run_flow`` executes, on one logic network:
+.. deprecated:: 1.1
+    :mod:`repro.pipeline` is the primary API.  ``run_flow`` and
+    ``FlowConfig`` remain as thin shims that build the equivalent
+    :class:`~repro.pipeline.pipeline.Pipeline`, so existing callers keep
+    working; new code should compose pipelines directly::
+
+        from repro.pipeline import Pipeline
+
+        ctx = Pipeline.standard(n_phases=4, use_t1=True).run(net)
+
+The flow, whichever API drives it:
 
 1. library decomposition + structural cleanup;
 2. (optional) T1 detection and substitution          — §II-A;
@@ -16,27 +26,29 @@ The paper's baselines are the same flow with ``use_t1=False`` and
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional
 
-from repro.errors import EquivalenceError, ReproError
-from repro.metrics import NetlistMetrics, measure
-from repro.network.cleanup import strash
-from repro.network.equivalence import check_equivalence
+from repro.errors import ReproError
+from repro.metrics import NetlistMetrics
 from repro.network.logic_network import LogicNetwork
 from repro.sfq.cell_library import CellLibrary, default_library
-from repro.sfq.mapping import decompose_to_library, map_to_sfq
 from repro.sfq.netlist import SFQNetlist
-from repro.sfq.timing import assert_timing
-from repro.core.dff_insertion import InsertionReport, insert_dffs
-from repro.core.phase_assignment import assign_stages
-from repro.core.t1_detection import DetectionResult, detect_and_replace
+from repro.core.dff_insertion import InsertionReport
+
+# repro.pipeline's passes import repro.core.* submodules, so the pipeline
+# package must be imported lazily (inside the shims) to keep
+# ``import repro.pipeline`` -> repro.core -> flow from re-entering the
+# partially initialized package.
 
 
 @dataclass
 class FlowConfig:
-    """Knobs of the flow; defaults match the paper's T1 configuration."""
+    """Knobs of the flow; defaults match the paper's T1 configuration.
+
+    Each knob maps onto pass construction in
+    :meth:`~repro.pipeline.pipeline.Pipeline.from_config`.
+    """
 
     n_phases: int = 4
     use_t1: bool = True
@@ -92,109 +104,17 @@ class FlowResult:
 
 
 def run_flow(net: LogicNetwork, config: Optional[FlowConfig] = None) -> FlowResult:
-    """Run the full flow on *net*; returns a :class:`FlowResult`."""
+    """Run the full flow on *net*; returns a :class:`FlowResult`.
+
+    Shim over :meth:`Pipeline.from_config` — produces bit-identical
+    metrics to the equivalent pipeline (that equivalence is pinned by
+    ``tests/pipeline/test_pipeline.py``).
+    """
+    from repro.pipeline import Pipeline
+
     config = config or FlowConfig()
-    library = config.resolved_library()
-    t0 = time.perf_counter()
-
-    # 1. normalise to the library and clean up
-    work = decompose_to_library(net, library)
-    work, _ = strash(work)
-    if config.balance_network:
-        from repro.network.balance import balance
-
-        work, _ = balance(work)
-        work, _ = strash(work)
-
-    # 2. T1 detection
-    found = used = 0
-    detection: Optional[DetectionResult] = None
-    if config.use_t1:
-        detection = detect_and_replace(
-            work,
-            library=library,
-            cuts_per_node=config.cuts_per_node,
-            min_outputs=config.t1_min_outputs,
-        )
-        if config.verify in ("cec", "full"):
-            res = check_equivalence(work, detection.network, complete=False)
-            if not res.equivalent:
-                raise EquivalenceError(
-                    "T1 substitution changed the function",
-                    res.counterexample,
-                )
-        work = detection.network
-        found, used = detection.found, detection.used
-
-    # 3. map
-    netlist, _sig = map_to_sfq(work, n_phases=config.n_phases, library=library)
-
-    # 4. phase assignment
-    if config.phase_method == "heuristic":
-        assign_stages(
-            netlist,
-            method="heuristic",
-            sweeps=config.sweeps,
-            include_po_balancing=config.balance_pos,
-            free_pi_phases=config.free_pi_phases,
-        )
-    else:
-        assign_stages(netlist, method=config.phase_method)
-
-    # 5. DFF insertion
-    insertion = insert_dffs(
-        netlist,
-        balance_pos=config.balance_pos,
-        share_chains=config.share_chains,
-    )
-
-    # 6. optional physical splitter trees, checks, metrics
-    if config.materialize_splitters:
-        from repro.sfq.splitters import materialize_splitters
-
-        materialize_splitters(netlist)
-    assert_timing(netlist)
-    metrics = measure(netlist, library)
-
-    verified: Optional[bool] = None
-    if config.verify == "full":
-        verified = _verify_streaming(net, netlist)
-    elif config.verify == "cec" and config.use_t1:
-        verified = True  # CEC already ran above
-
-    return FlowResult(
-        name=net.name,
-        config=config,
-        netlist=netlist,
-        metrics=metrics,
-        logic_network=work,
-        t1_found=found,
-        t1_used=used,
-        insertion=insertion,
-        runtime_s=time.perf_counter() - t0,
-        verified=verified,
-    )
-
-
-def _verify_streaming(
-    original: LogicNetwork, netlist: SFQNetlist, waves: int = 24, seed: int = 7
-) -> bool:
-    """Stream random waves through the mapped pipeline vs the logic model."""
-    import random
-
-    from repro.network.simulation import simulate_words
-    from repro.sfq.simulator import stream_compare
-
-    rng = random.Random(seed)
-    stimulus = [
-        [rng.randint(0, 1) for _ in original.pis] for _ in range(waves)
-    ]
-
-    def golden(row: Sequence[int]) -> List[int]:
-        return simulate_words(original, [list(row)])[0]
-
-    stream_compare(netlist, golden, stimulus)
-    return True
+    ctx = Pipeline.from_config(config).run(net)
+    return ctx.to_result(config)
 
 
 def run_baselines_and_t1(
@@ -203,33 +123,33 @@ def run_baselines_and_t1(
     verify: str = "none",
     sweeps: int = 4,
     library: Optional[CellLibrary] = None,
+    jobs: int = 1,
 ) -> Dict[str, FlowResult]:
-    """The paper's three columns: 1φ, nφ, and nφ + T1."""
+    """The paper's three columns: 1φ, nφ, and nφ + T1.
+
+    ``jobs`` spreads the three flows over a process pool via
+    :func:`~repro.pipeline.batch.run_many`.
+    """
+    from repro.pipeline.batch import (
+        BASELINE_LABELS,
+        baseline_pipelines,
+        run_many,
+    )
+
+    pipes = baseline_pipelines(
+        n_phases=n_phases, verify=verify, sweeps=sweeps, library=library
+    )
+    contexts = run_many(
+        [(net, pipes[label]) for label in BASELINE_LABELS], jobs=jobs
+    )
     out: Dict[str, FlowResult] = {}
-    out["1phi"] = run_flow(
-        net,
-        FlowConfig(
-            n_phases=1, use_t1=False, verify=verify, sweeps=sweeps, library=library
-        ),
-    )
-    out["nphi"] = run_flow(
-        net,
-        FlowConfig(
-            n_phases=n_phases,
-            use_t1=False,
+    for label, ctx in zip(BASELINE_LABELS, contexts):
+        cfg = FlowConfig(
+            n_phases=1 if label == "1phi" else n_phases,
+            use_t1=label == "t1",
             verify=verify,
             sweeps=sweeps,
             library=library,
-        ),
-    )
-    out["t1"] = run_flow(
-        net,
-        FlowConfig(
-            n_phases=n_phases,
-            use_t1=True,
-            verify=verify,
-            sweeps=sweeps,
-            library=library,
-        ),
-    )
+        )
+        out[label] = ctx.to_result(cfg)
     return out

@@ -61,6 +61,11 @@ class MappingError(ReproError):
     """Technology mapping failed (unsupported gate, missing cell...)."""
 
 
+class PipelineError(ReproError):
+    """Invalid pipeline composition or use (unknown pass name, duplicate
+    pass, artefact read before the pass that produces it has run...)."""
+
+
 class TimingError(ReproError):
     """A multiphase timing rule is violated (stage gaps, freshness...)."""
 

@@ -1,0 +1,58 @@
+"""repro.pipeline — the composable pass-manager flow API (primary API).
+
+The monolithic ``repro.core.flow.run_flow`` is retained as a thin shim;
+new code composes flows from passes::
+
+    from repro.circuits import build
+    from repro.pipeline import Pipeline
+
+    ctx = Pipeline.standard(n_phases=4, use_t1=True).run(build("adder", "ci"))
+    print(ctx.metrics.area_jj, ctx.timings)
+
+* :class:`~repro.pipeline.base.Pass` — the stage protocol (name +
+  ``run(ctx) -> ctx``);
+* :class:`~repro.pipeline.context.FlowContext` — the shared state passes
+  read and write (networks, netlist, reports, metrics, timings, events);
+* :class:`~repro.pipeline.pipeline.Pipeline` — the immutable composer
+  with the fluent builder (``with_pass`` / ``without`` / ``replace`` /
+  ``with_hooks``);
+* :mod:`~repro.pipeline.passes` — the six flow stages as individual
+  passes, plus the optional balance / splitter extras;
+* :func:`~repro.pipeline.batch.run_many` — the multiprocessing batch
+  executor behind ``repro-flow table --jobs N`` and the benchmarks.
+"""
+
+from repro.pipeline.base import Pass
+from repro.pipeline.batch import baseline_pipelines, run_many, run_table
+from repro.pipeline.context import FlowContext
+from repro.pipeline.passes import (
+    BalancePass,
+    DecomposePass,
+    DffInsertPass,
+    IlpPhasePass,
+    MapPass,
+    PhaseAssignPass,
+    SplitterPass,
+    T1DetectPass,
+    VerifyMetricsPass,
+)
+from repro.pipeline.pipeline import Pipeline, PipelineHooks
+
+__all__ = [
+    "BalancePass",
+    "DecomposePass",
+    "DffInsertPass",
+    "FlowContext",
+    "IlpPhasePass",
+    "MapPass",
+    "Pass",
+    "PhaseAssignPass",
+    "Pipeline",
+    "PipelineHooks",
+    "SplitterPass",
+    "T1DetectPass",
+    "VerifyMetricsPass",
+    "baseline_pipelines",
+    "run_many",
+    "run_table",
+]

@@ -1,0 +1,153 @@
+"""Multi-circuit batch execution: ``run_many`` and the Table-I driver.
+
+``run_many`` fans a list of (network, pipeline) jobs over a worker pool
+(``multiprocessing``) and returns the finished contexts in submission
+order; results are deterministic and independent of ``jobs``.  It powers
+``repro-flow table --jobs N`` and the benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import PipelineError
+from repro.network.logic_network import LogicNetwork
+from repro.pipeline.context import FlowContext
+from repro.pipeline.pipeline import Pipeline
+
+#: one unit of work: a bare network (paired with the shared pipeline
+#: argument of :func:`run_many`) or an explicit (network, pipeline) pair
+WorkItem = Union[LogicNetwork, Tuple[LogicNetwork, Pipeline]]
+
+#: the three Table-I columns, in paper order
+BASELINE_LABELS = ("1phi", "nphi", "t1")
+
+
+def _normalize(
+    circuits: Sequence[WorkItem], pipeline: Optional[Pipeline]
+) -> List[Tuple[LogicNetwork, Pipeline]]:
+    jobs: List[Tuple[LogicNetwork, Pipeline]] = []
+    for item in circuits:
+        if isinstance(item, tuple):
+            net, pipe = item
+        else:
+            net, pipe = item, pipeline
+        if pipe is None:
+            raise PipelineError(
+                "run_many needs a pipeline: pass pipeline= or submit "
+                "(network, pipeline) pairs"
+            )
+        jobs.append((net, pipe))
+    return jobs
+
+
+def _run_job(job: Tuple[LogicNetwork, Pipeline]) -> FlowContext:
+    net, pipe = job
+    return pipe.run(net)
+
+
+def run_many(
+    circuits: Sequence[WorkItem],
+    pipeline: Optional[Pipeline] = None,
+    jobs: int = 1,
+    on_result: Optional[Callable[[int, FlowContext], None]] = None,
+) -> List[FlowContext]:
+    """Run pipelines over many circuits, optionally in parallel.
+
+    *circuits* mixes bare networks (run with the shared *pipeline*) and
+    explicit ``(network, pipeline)`` pairs.  ``jobs > 1`` executes on a
+    process pool; hooks are dropped in workers (callbacks cannot cross
+    process boundaries) and the returned contexts arrive in submission
+    order regardless of completion order.  *on_result* fires in the main
+    process, in submission order, as each context becomes available —
+    use it for streaming progress output.
+    """
+    work = _normalize(circuits, pipeline)
+
+    def _collect(results) -> List[FlowContext]:
+        out: List[FlowContext] = []
+        for i, ctx in enumerate(results):
+            out.append(ctx)
+            if on_result is not None:
+                on_result(i, ctx)
+        return out
+
+    if jobs <= 1 or len(work) <= 1:
+        return _collect(_run_job(j) for j in work)
+
+    import multiprocessing as mp
+
+    stripped = [(net, pipe.without_hooks()) for net, pipe in work]
+    with mp.Pool(processes=min(jobs, len(stripped))) as pool:
+        return _collect(pool.imap(_run_job, stripped))
+
+
+def baseline_pipelines(
+    n_phases: int = 4,
+    verify: str = "none",
+    sweeps: int = 4,
+    library=None,
+) -> dict:
+    """The paper's three flows (1φ, nφ, nφ + T1) keyed by column label."""
+    common = dict(verify=verify, sweeps=sweeps, library=library)
+    return {
+        "1phi": Pipeline.standard(n_phases=1, use_t1=False, **common),
+        "nphi": Pipeline.standard(n_phases=n_phases, use_t1=False, **common),
+        "t1": Pipeline.standard(n_phases=n_phases, use_t1=True, **common),
+    }
+
+
+def run_table(
+    benchmarks: Optional[Sequence[str]] = None,
+    preset: str = "paper",
+    n_phases: int = 4,
+    verify: str = "none",
+    sweeps: int = 4,
+    jobs: int = 1,
+    library=None,
+    progress: Optional[Callable[[str], None]] = None,
+    loader: Optional[Callable[[str], LogicNetwork]] = None,
+):
+    """Reproduce Table I: every benchmark through the three flows.
+
+    Returns a :class:`~repro.core.report.Table`.  ``jobs > 1`` spreads
+    the ``3 × len(benchmarks)`` flow runs over a process pool; the result
+    is identical to serial execution.  *progress* fires with each
+    benchmark name as its last flow finishes (streamed, not batched at
+    the end).  *loader* maps a benchmark name to a network; it defaults
+    to the registry (``build(name, preset)``) — pass a custom one to run
+    the table over external netlist files.
+    """
+    from repro.circuits import TABLE1_ORDER, build
+    from repro.core.report import Table, TableRow
+
+    names = list(benchmarks) if benchmarks else list(TABLE1_ORDER)
+    if loader is None:
+        loader = lambda name: build(name, preset)  # noqa: E731
+    pipes = baseline_pipelines(
+        n_phases=n_phases, verify=verify, sweeps=sweeps, library=library
+    )
+    # Each network appears once per label; the final contexts hold every
+    # source network alive anyway (ctx.source), so building them up front
+    # costs no extra peak memory over lazy construction.
+    work: List[Tuple[LogicNetwork, Pipeline]] = []
+    for name in names:
+        net = loader(name)
+        for label in BASELINE_LABELS:
+            work.append((net, pipes[label]))
+
+    per_bench = len(BASELINE_LABELS)
+
+    def _on_result(i: int, _ctx: FlowContext) -> None:
+        if progress is not None and i % per_bench == per_bench - 1:
+            progress(names[i // per_bench])
+
+    contexts = run_many(work, jobs=jobs, on_result=_on_result)
+
+    rows: List[TableRow] = []
+    for i, name in enumerate(names):
+        chunk = contexts[per_bench * i : per_bench * (i + 1)]
+        rows.append(
+            TableRow.from_results(name, dict(zip(BASELINE_LABELS, chunk)))
+        )
+    return Table(rows, n_phases=n_phases)

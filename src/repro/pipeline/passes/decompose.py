@@ -1,0 +1,44 @@
+"""Library decomposition + structural cleanup (flow stage 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.cleanup import strash
+from repro.pipeline.context import FlowContext
+from repro.sfq.mapping import decompose_to_library
+
+
+@dataclass
+class DecomposePass:
+    """Normalise the network to the cell library and structurally hash it."""
+
+    name: str = "decompose"
+
+    def run(self, ctx: FlowContext) -> FlowContext:
+        work = decompose_to_library(ctx.network, ctx.library)
+        work, _ = strash(work)
+        ctx.network = work
+        ctx.log(f"decompose: {work.num_gates()} gates after strash")
+        return ctx
+
+
+@dataclass
+class BalancePass:
+    """Depth-rebalance associative trees (optional, before detection).
+
+    Depth equals DFFs in gate-level-pipelined SFQ, so rebalancing is an
+    area optimisation here; insert it after ``decompose`` to reproduce
+    ``FlowConfig(balance_network=True)``.
+    """
+
+    name: str = "balance"
+
+    def run(self, ctx: FlowContext) -> FlowContext:
+        from repro.network.balance import balance
+
+        work, _ = balance(ctx.network)
+        work, _ = strash(work)
+        ctx.network = work
+        ctx.log(f"balance: {work.num_gates()} gates after rebalancing")
+        return ctx

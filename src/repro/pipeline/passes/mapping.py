@@ -1,0 +1,31 @@
+"""Technology mapping onto an SFQ netlist (flow stage 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pipeline.context import FlowContext
+from repro.sfq.mapping import map_to_sfq
+
+
+@dataclass
+class MapPass:
+    """Map the working logic network to clocked SFQ cells.
+
+    The phase count lives here (not on the pipeline) because it is a
+    property of the mapped fabric; downstream passes read it back from
+    ``ctx.n_phases``.
+    """
+
+    n_phases: int = 4
+    name: str = "map_to_sfq"
+
+    def run(self, ctx: FlowContext) -> FlowContext:
+        netlist, _sig = map_to_sfq(
+            ctx.network, n_phases=self.n_phases, library=ctx.library
+        )
+        ctx.netlist = netlist
+        ctx.n_phases = self.n_phases
+        ctx.log(f"map_to_sfq: {len(netlist.cells)} cells, "
+                f"{self.n_phases}-phase clocking")
+        return ctx

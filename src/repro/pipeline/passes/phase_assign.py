@@ -1,0 +1,53 @@
+"""Clock-phase (stage) assignment (flow stage 4, §II-B)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.phase_assignment import assign_stages
+from repro.errors import PipelineError
+from repro.pipeline.context import FlowContext
+
+
+@dataclass
+class PhaseAssignPass:
+    """Assign clock stages to every cell of the mapped netlist.
+
+    ``method="heuristic"`` runs the scalable coordinate-descent sweeps;
+    ``method="ilp"`` solves the exact per-edge objective on the MILP
+    solver (small netlists only — see :class:`IlpPhasePass`).
+    """
+
+    method: str = "heuristic"
+    sweeps: int = 4
+    balance_pos: bool = True
+    free_pi_phases: bool = True
+    name: str = "phase_assign"
+
+    def run(self, ctx: FlowContext) -> FlowContext:
+        if ctx.netlist is None:
+            raise PipelineError(
+                "phase_assign needs a mapped netlist — run 'map_to_sfq' first"
+            )
+        if self.method == "heuristic":
+            assign_stages(
+                ctx.netlist,
+                method="heuristic",
+                sweeps=self.sweeps,
+                include_po_balancing=self.balance_pos,
+                free_pi_phases=self.free_pi_phases,
+            )
+        else:
+            assign_stages(ctx.netlist, method=self.method)
+        ctx.log(f"phase_assign: method={self.method}")
+        return ctx
+
+
+@dataclass
+class IlpPhasePass(PhaseAssignPass):
+    """Exact ILP phase assignment; drop-in replacement for the heuristic:
+
+    ``Pipeline.standard(...).replace("phase_assign", IlpPhasePass())``
+    """
+
+    method: str = "ilp"

@@ -24,7 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.metrics import count_splitters
+# NOTE: repro.metrics imports repro.sfq.cell_library, so importing it at
+# module scope would make repro.sfq <-> repro.metrics circular; resolved
+# lazily inside _cell_jj instead.
 from repro.sfq.cell_library import CellLibrary, default_library
 from repro.sfq.netlist import CellKind, SFQNetlist
 
@@ -106,6 +108,8 @@ def _cell_jj(netlist: SFQNetlist, library: CellLibrary) -> tuple:
         total += jj
         if cell.clocked:
             clocked += jj
+    from repro.metrics import count_splitters
+
     total += count_splitters(netlist) * library.splitter.jj_count
     return total, clocked
 

@@ -93,3 +93,23 @@ def test_parser_has_all_commands():
     text = parser.format_help()
     for cmd in ("list", "run", "table", "fig1b"):
         assert cmd in text
+
+
+def test_table_accepts_blif_file(tmp_path, capsys):
+    from repro.circuits import ripple_carry_adder
+    from repro.io import write_blif
+
+    path = tmp_path / "add.blif"
+    with open(path, "w") as fh:
+        write_blif(ripple_carry_adder(4), fh)
+    assert main(["table", str(path), "--verify", "none"]) == 0
+    out = capsys.readouterr().out
+    assert "add.blif" in out
+    assert "Average" in out
+
+
+def test_invalid_t1_phase_count_is_clean_error(capsys):
+    assert main(["run", "adder", "--preset", "ci", "-n", "2", "--t1"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "n_phases >= 3" in err

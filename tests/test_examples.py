@@ -1,19 +1,29 @@
 """Smoke tests: every shipped example runs to completion.
 
 Examples are user-facing deliverables; a broken one is a bug.  Each runs
-in a subprocess in the repository root (some write artefact files into
-cwd; a tmp cwd keeps the tree clean).
+in a subprocess in a tmp cwd (some write artefact files into cwd; a tmp
+cwd keeps the tree clean), so ``src`` must be put on PYTHONPATH as an
+*absolute* path — a relative ``PYTHONPATH=src`` from the repo root would
+not resolve from the subprocess's cwd.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    p.name for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
-)
+REPO = pathlib.Path(__file__).parent.parent
+EXAMPLES = sorted(p.name for p in (REPO / "examples").glob("*.py"))
+
+
+def _env_with_src():
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
 
 
 def test_expected_examples_present():
@@ -23,10 +33,11 @@ def test_expected_examples_present():
 
 @pytest.mark.parametrize("example", EXAMPLES)
 def test_example_runs(example, tmp_path):
-    script = pathlib.Path(__file__).parent.parent / "examples" / example
+    script = REPO / "examples" / example
     result = subprocess.run(
         [sys.executable, str(script)],
         cwd=tmp_path,
+        env=_env_with_src(),
         capture_output=True,
         text=True,
         timeout=600,

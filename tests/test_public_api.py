@@ -14,6 +14,8 @@ PACKAGES = [
     "repro.core",
     "repro.circuits",
     "repro.io",
+    "repro.pipeline",
+    "repro.pipeline.passes",
 ]
 
 
@@ -46,6 +48,8 @@ def test_lazy_top_level_attributes():
 
     assert callable(repro.run_flow)
     assert repro.FlowConfig is not None
+    assert callable(repro.run_many)
+    assert repro.Pipeline.standard().names()
     assert "adder" in repro.benchmark_registry
     with pytest.raises(AttributeError):
         repro.nonexistent_attribute
