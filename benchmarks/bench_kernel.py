@@ -1,0 +1,248 @@
+"""Microbenchmark suite for the incremental network kernel.
+
+Measures the four axes the kernel refactor targets and writes the
+results to ``BENCH_kernel.json`` at the repository root, so every PR
+extends a measured perf trajectory instead of guessing:
+
+* **construction** — node append throughput on the registry generators;
+* **analysis caching** — cold vs warm ``topological_order``/``levels``
+  (warm calls must be O(1) on an unchanged network);
+* **substitute scaling** — mean cost of ``substitute`` on a small vs a
+  16x larger network with identical per-node fanout.  With the
+  maintained fanout index the ratio stays near 1; the old
+  full-scan kernel scaled with network size;
+* **cut enumeration / rewrite loops / full flow** — the mapping hot
+  loop and end-to-end ``Pipeline.standard`` wall time per registry
+  circuit, with speedups against ``benchmarks/baseline_seed.json``
+  (the pre-refactor kernel) when that file is present.
+
+Kernel *invariant* failures (maintained indices diverging from a
+from-scratch recomputation) exit non-zero — that is the CI contract.
+Timing numbers are recorded, never asserted: wall-clock noise must not
+fail a pipeline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py            # paper scale
+    PYTHONPATH=src python benchmarks/bench_kernel.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.circuits.registry import TABLE1_ORDER, build
+from repro.errors import NetworkError
+from repro.network import LogicNetwork, enumerate_cuts, refactor, balance
+from repro.pipeline import Pipeline
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline_seed.json"
+
+
+def _check(net: LogicNetwork, where: str, failures: list) -> None:
+    try:
+        net.check_invariants()
+    except NetworkError as exc:
+        failures.append(f"{where}: {exc}")
+
+
+def bench_construction(circuits, preset, failures):
+    out = {}
+    for name in circuits:
+        t0 = time.perf_counter()
+        net = build(name, preset=preset)
+        dt = time.perf_counter() - t0
+        _check(net, f"construction:{name}", failures)
+        out[name] = {
+            "nodes": net.num_nodes(),
+            "seconds": round(dt, 6),
+            "nodes_per_s": round(net.num_nodes() / dt) if dt > 0 else None,
+        }
+    return out
+
+
+def bench_analysis_cache(circuits, preset, failures):
+    out = {}
+    for name in circuits:
+        net = build(name, preset=preset)
+        t0 = time.perf_counter()
+        net.topological_order()
+        net.levels()
+        cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm_iters = 100
+        for _ in range(warm_iters):
+            net.topological_order()
+            net.levels()
+        warm = (time.perf_counter() - t0) / warm_iters
+        _check(net, f"analysis:{name}", failures)
+        out[name] = {
+            "nodes": net.num_nodes(),
+            "cold_seconds": round(cold, 6),
+            "warm_seconds": round(warm, 9),
+            "cache_speedup": round(cold / warm, 1) if warm > 0 else None,
+        }
+    return out
+
+
+def _substitute_probe(n_stubs: int, failures) -> float:
+    """Mean seconds per substitute on a network with ``2*n_stubs`` gates.
+
+    Every substituted node has fanout exactly 1, so an O(fanout) kernel
+    shows a flat cost as ``n_stubs`` grows; the old kernel scanned all
+    fanin tuples per call and scaled linearly.
+    """
+    net = LogicNetwork("subst_probe")
+    a, b, c = net.add_pi("a"), net.add_pi("b"), net.add_pi("c")
+    xs = []
+    for _ in range(n_stubs):
+        x = net.add_and(a, b)
+        y = net.add_or(x, c)
+        net.add_po(y)
+        xs.append(x)
+    t0 = time.perf_counter()
+    for x in xs:
+        net.substitute(x, c)
+    per_call = (time.perf_counter() - t0) / n_stubs
+    _check(net, f"substitute:{n_stubs}", failures)
+    return per_call
+
+
+def bench_substitute(quick: bool, failures):
+    small_n, large_n = (500, 8000) if quick else (2000, 32000)
+    small = _substitute_probe(small_n, failures)
+    large = _substitute_probe(large_n, failures)
+    return {
+        "small_network_gates": 2 * small_n,
+        "large_network_gates": 2 * large_n,
+        "small_seconds_per_call": round(small, 9),
+        "large_seconds_per_call": round(large, 9),
+        # ~1.0 for O(fanout); ~network-size ratio for the old O(n) scan
+        "scaling_ratio": round(large / small, 2) if small > 0 else None,
+    }
+
+
+def bench_cut_enumeration(circuits, preset, failures):
+    out = {}
+    for name in circuits:
+        net = build(name, preset=preset)
+        t0 = time.perf_counter()
+        db = enumerate_cuts(net, k=3, cuts_per_node=8)
+        dt = time.perf_counter() - t0
+        _check(net, f"cuts:{name}", failures)
+        out[name] = {
+            "nodes": net.num_nodes(),
+            "seconds": round(dt, 6),
+            "cuts": sum(len(db[n]) for n in net.nodes()),
+        }
+    return out
+
+
+def bench_rewrite_loops(preset, failures):
+    """Balance + refactor: the substitute-heavy optimisation loops."""
+    name = "sin" if preset == "paper" else "adder"
+    net = build(name, preset=preset)
+    t0 = time.perf_counter()
+    balanced, _ = balance(net)
+    t_balance = time.perf_counter() - t0
+    _check(balanced, f"balance:{name}", failures)
+    t0 = time.perf_counter()
+    refactored, accepted = refactor(net)
+    t_refactor = time.perf_counter() - t0
+    _check(refactored, f"refactor:{name}", failures)
+    return {
+        "circuit": name,
+        "nodes": net.num_nodes(),
+        "balance_seconds": round(t_balance, 6),
+        "refactor_seconds": round(t_refactor, 6),
+        "refactor_accepted": accepted,
+    }
+
+
+def bench_flow(circuits, preset, failures, baseline, repeats=3):
+    out = {}
+    base_flows = (baseline or {}).get("flow", {}).get(preset, {})
+    for name in circuits:
+        best = None
+        ctx = None
+        for _ in range(repeats):
+            net = build(name, preset=preset)
+            t0 = time.perf_counter()
+            ctx = Pipeline.standard(n_phases=4, use_t1=True).run(net)
+            dt = time.perf_counter() - t0
+            best = dt if best is None else min(best, dt)
+        _check(ctx.network, f"flow:{name}", failures)
+        entry = {
+            "seconds": round(best, 4),
+            "metrics": ctx.metrics.as_dict(),
+        }
+        if name in base_flows:
+            entry["seed_kernel_seconds"] = base_flows[name]
+            entry["speedup_vs_seed"] = round(base_flows[name] / best, 2)
+        out[name] = entry
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: down-scaled circuits, smaller probes",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_kernel.json"),
+        help="output JSON path (default: BENCH_kernel.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    preset = "ci" if args.quick else "paper"
+    circuits = list(TABLE1_ORDER)
+    baseline = None
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+
+    failures: list = []
+    report = {
+        "meta": {
+            "preset": preset,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "construction": bench_construction(circuits, preset, failures),
+        "analysis_cache": bench_analysis_cache(circuits, preset, failures),
+        "substitute": bench_substitute(args.quick, failures),
+        "cut_enumeration": bench_cut_enumeration(circuits, preset, failures),
+        "rewrite_loops": bench_rewrite_loops(preset, failures),
+        "flow": bench_flow(circuits, preset, failures, baseline),
+        "invariants_ok": not failures,
+        "invariant_failures": failures,
+    }
+
+    Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {args.out}")
+    sub = report["substitute"]
+    print(
+        f"substitute scaling ratio ({sub['large_network_gates']} vs "
+        f"{sub['small_network_gates']} gates): {sub['scaling_ratio']}"
+    )
+    for name, entry in report["flow"].items():
+        speed = entry.get("speedup_vs_seed")
+        extra = f"  ({speed}x vs seed kernel)" if speed else ""
+        print(f"flow {name:<11} {entry['seconds']:.3f}s{extra}")
+    if failures:
+        print("KERNEL INVARIANT FAILURES:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,18 +25,27 @@ from repro.network.logic_network import LogicNetwork
 from repro.pipeline import Pipeline, run_table
 
 
+def _open_netlist(source: str):
+    """Open a user-supplied netlist path, mapping I/O failures to the
+    CLI's ``error: ... / exit 2`` contract instead of a traceback."""
+    try:
+        return open(source)
+    except OSError as exc:
+        raise ReproError(f"cannot read {source!r}: {exc}") from exc
+
+
 def _load_network(source: str, preset: str) -> LogicNetwork:
     if source in benchmark_registry:
         return build(source, preset)
     if source.endswith(".blif"):
         from repro.io import read_blif
 
-        with open(source) as fh:
+        with _open_netlist(source) as fh:
             return read_blif(fh)
     if source.endswith(".bench"):
         from repro.io import read_bench
 
-        with open(source) as fh:
+        with _open_netlist(source) as fh:
             return read_bench(fh)
     raise SystemExit(
         f"unknown benchmark or file {source!r} "

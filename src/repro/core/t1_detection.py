@@ -29,8 +29,7 @@ from repro.network.cuts import CutDatabase, enumerate_cuts
 from repro.network.gates import Gate, is_t1_tap
 from repro.network.logic_network import LogicNetwork
 from repro.network.mffc import MffcComputer
-from repro.network.cleanup import sweep
-from repro.network.traversal import topological_order
+from repro.network.nodemap import NodeMap
 from repro.sfq.cell_library import CellLibrary, default_library
 from repro.core.t1_matching import OutputMatch, match_t1_output, polarity_bits
 
@@ -204,10 +203,12 @@ def select_candidates(candidates: Sequence[T1Candidate]) -> List[T1Candidate]:
 
 def apply_candidates(
     net: LogicNetwork, selected: Sequence[T1Candidate]
-) -> Tuple[LogicNetwork, Dict[int, int]]:
-    """Substitute every selected group by a T1 block and sweep.
+) -> Tuple[LogicNetwork, NodeMap]:
+    """Substitute every selected group by a T1 block and compact in place.
 
-    Returns ``(new_network, old_to_new_node_map)``.
+    Each ``substitute`` costs O(fanout) via the kernel's maintained fanout
+    index, and the dead cones are removed by one in-place ``compact`` that
+    emits the ``old_to_new`` id remap.  Returns ``(new_network, remap)``.
     """
     work = net.clone()
     # a root replaced by an earlier group may serve as a leaf of a later
@@ -234,7 +235,8 @@ def apply_candidates(
                 taps[match.tap_gate] = tap
             work.substitute(node, tap)
             repl[node] = tap
-    return sweep(work)
+    remap = work.compact()
+    return work, remap
 
 
 def detect_and_replace(

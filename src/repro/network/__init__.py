@@ -9,7 +9,8 @@ Public surface:
 """
 
 from repro.network.gates import CLOCKED_GATES, Gate, T1_TAPS, eval_gate, is_t1_tap
-from repro.network.logic_network import CONST0, CONST1, LogicNetwork
+from repro.network.logic_network import CONST0, CONST1, LogicNetwork, fold_gate
+from repro.network.nodemap import NodeMap
 from repro.network.truth_table import (
     TruthTable,
     and3_tt,
@@ -69,6 +70,7 @@ __all__ = [
     "Gate",
     "LogicNetwork",
     "MffcComputer",
+    "NodeMap",
     "NpnTransform",
     "T1_TAPS",
     "TruthTable",
@@ -79,6 +81,7 @@ __all__ = [
     "enumerate_cuts",
     "eval_gate",
     "eval_int",
+    "fold_gate",
     "exhaustive_equivalence",
     "exhaustive_pi_patterns",
     "is_t1_tap",

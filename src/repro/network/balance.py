@@ -20,12 +20,11 @@ with T1 detection.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.network.gates import Gate
 from repro.network.logic_network import LogicNetwork
-from repro.network.cleanup import sweep
-from repro.network.traversal import levels, topological_order
+from repro.network.nodemap import NodeMap
 
 _ASSOCIATIVE = (Gate.AND, Gate.OR, Gate.XOR)
 
@@ -56,15 +55,17 @@ def _collect_chain(
 
 def balance(
     net: LogicNetwork, max_arity: int = 3
-) -> Tuple[LogicNetwork, Dict[int, int]]:
+) -> Tuple[LogicNetwork, NodeMap]:
     """Rebalance associative chains into depth-minimal trees.
 
     Returns ``(new_network, old_to_new map)``; the result is functionally
     equivalent (same PO functions) with depth less than or equal to the
     input's.
     """
-    order = topological_order(net)
-    lvl = levels(net, order)
+    # all four analyses come from the kernel's maintained/cached indices —
+    # no per-pass rescans
+    order = net.topological_order()
+    lvl = net.levels()
     fanout_counts = net.compute_fanout_counts()
     fanouts = net.compute_fanouts()
     out = net.clone()
@@ -105,10 +106,12 @@ def balance(
         out.substitute(node, new_root)
         replaced[node] = new_root
 
-    swept, mapping = sweep(out)
+    # `out` is our private working copy: compact it in place instead of
+    # paying sweep's second full clone
+    mapping = out.compact()
     final = {}
     for old in range(net.num_nodes()):
         tgt = replaced.get(old, old)
         if tgt in mapping:
             final[old] = mapping[tgt]
-    return swept, final
+    return out, NodeMap(final)

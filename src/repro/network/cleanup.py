@@ -1,38 +1,71 @@
 """Network cleanup: dead-node sweeping, structural hashing, simplification.
 
-``sweep`` compacts a network after substitutions (e.g. T1 replacement)
-into a fresh network containing only live nodes; ``strash`` additionally
-merges structurally identical nodes and folds trivial gates (constant
-fanins, single-fanin AND/OR/XOR, double negation).
+``sweep`` compacts a network after substitutions (e.g. T1 replacement);
+``strash`` additionally merges structurally identical nodes and folds
+trivial gates (constant fanins, single-fanin AND/OR/XOR, double
+negation).
+
+Both are thin layers over the kernel since the incremental-network
+refactor: ``sweep`` clones and calls
+:meth:`~repro.network.logic_network.LogicNetwork.compact` (use
+``compact`` directly for true in-place cleanup of a working copy), and
+``strash`` replays the live nodes into a network constructed with
+``hash_cons=True`` — the kernel's hash-consed ``add_gate`` performs the
+folding and node merging that used to live here.  Id remaps are reported
+as :class:`~repro.network.nodemap.NodeMap` events.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Tuple
 
 from repro.network.gates import Gate, is_t1_tap
-from repro.network.logic_network import CONST0, CONST1, LogicNetwork
-from repro.network.traversal import live_nodes, topological_order
+from repro.network.logic_network import (
+    CONST0,
+    CONST1,
+    LogicNetwork,
+    fold_gate,
+)
+from repro.network.nodemap import NodeMap
+from repro.network.traversal import live_nodes
+
+#: backwards-compatible alias — the folding rules now live on the kernel
+_fold_constants = fold_gate
 
 
-def sweep(net: LogicNetwork) -> Tuple[LogicNetwork, Dict[int, int]]:
+def sweep(net: LogicNetwork) -> Tuple[LogicNetwork, NodeMap]:
     """Copy only live nodes into a fresh network.
 
     Returns ``(new_net, old_to_new)``.  PIs are preserved in order even if
-    unused; POs keep their order and names.
+    unused; POs keep their order and names.  The input is left untouched;
+    to clean a working copy without the clone, call ``net.compact()``.
     """
+    out = net.clone()
+    remap = out.compact()
+    return out, remap
+
+
+def strash(net: LogicNetwork) -> Tuple[LogicNetwork, NodeMap]:
+    """Structural hashing + local simplification + dead-node removal.
+
+    Commutative gates sort their fanins so permuted duplicates merge.
+    NOT(NOT(x)) collapses.  Runs a :func:`sweep` pass implicitly (the
+    output contains only nodes reachable from POs).
+    """
+    order = net.topological_order()
     live = live_nodes(net)
-    order = topological_order(net)
-    out = LogicNetwork(net.name)
-    mapping: Dict[int, int] = {CONST0: CONST0, CONST1: CONST1}
+    out = LogicNetwork(net.name, hash_cons=True)
+    mapping = {CONST0: CONST0, CONST1: CONST1}
+
     for pi in net.pis:
         mapping[pi] = out.add_pi(net.get_name(pi))
+
     for node in order:
         if node in mapping or node not in live:
             continue
         g = net.gates[node]
         if g is Gate.PI:
-            continue  # already added
+            continue
         fins = tuple(mapping[f] for f in net.fanins[node])
         if g is Gate.T1_CELL:
             mapping[node] = out.add_t1_cell(*fins)
@@ -40,179 +73,13 @@ def sweep(net: LogicNetwork) -> Tuple[LogicNetwork, Dict[int, int]]:
             mapping[node] = out.add_t1_tap(fins[0], g)
         else:
             mapping[node] = out.add_gate(g, fins)
-        name = net.get_name(node)
-        if name is not None:
-            out.set_name(mapping[node], name)
     for po, name in zip(net.pos, net.po_names):
         out.add_po(mapping[po], name)
-    return out, mapping
-
-
-def _fold_constants(
-    gate: Gate, fins: Tuple[int, ...]
-) -> Optional[Tuple[str, object]]:
-    """Constant folding / algebraic simplification of one node.
-
-    Returns one of
-      ("const", 0/1)   -- node is a constant
-      ("alias", node)  -- node equals an existing node
-      ("gate", (gate, fins)) -- simplified gate
-      None             -- keep unchanged
-    """
-    if gate in (Gate.AND, Gate.OR, Gate.XOR, Gate.NAND, Gate.NOR, Gate.XNOR):
-        base = {
-            Gate.AND: Gate.AND,
-            Gate.NAND: Gate.AND,
-            Gate.OR: Gate.OR,
-            Gate.NOR: Gate.OR,
-            Gate.XOR: Gate.XOR,
-            Gate.XNOR: Gate.XOR,
-        }[gate]
-        inverted = gate in (Gate.NAND, Gate.NOR, Gate.XNOR)
-        vals = list(fins)
-        if base is Gate.AND:
-            if CONST0 in vals:
-                return ("const", 1 if inverted else 0)
-            vals = [v for v in vals if v != CONST1]
-            vals = list(dict.fromkeys(vals))  # idempotence
-        elif base is Gate.OR:
-            if CONST1 in vals:
-                return ("const", 0 if inverted else 1)
-            vals = [v for v in vals if v != CONST0]
-            vals = list(dict.fromkeys(vals))  # idempotence
-        else:  # XOR: drop const0, toggle on const1, cancel duplicate pairs
-            flips = vals.count(CONST1)
-            vals = [v for v in vals if v not in (CONST0, CONST1)]
-            if flips % 2:
-                inverted = not inverted
-            counts: Dict[int, int] = {}
-            for v in vals:
-                counts[v] = counts.get(v, 0) + 1
-            vals = [v for v, c in counts.items() if c % 2]
-        if not vals:
-            identity = 0 if base in (Gate.OR, Gate.XOR) else 1
-            return ("const", identity ^ (1 if inverted else 0))
-        if len(vals) == 1:
-            if inverted:
-                return ("gate", (Gate.NOT, (vals[0],)))
-            return ("alias", vals[0])
-        if base is Gate.AND and len(set(vals)) == 1:
-            v = vals[0]
-            return ("gate", (Gate.NOT, (v,))) if inverted else ("alias", v)
-        if base is Gate.OR and len(set(vals)) == 1:
-            v = vals[0]
-            return ("gate", (Gate.NOT, (v,))) if inverted else ("alias", v)
-        out_gate = {
-            (Gate.AND, False): Gate.AND,
-            (Gate.AND, True): Gate.NAND,
-            (Gate.OR, False): Gate.OR,
-            (Gate.OR, True): Gate.NOR,
-            (Gate.XOR, False): Gate.XOR,
-            (Gate.XOR, True): Gate.XNOR,
-        }[(base, inverted)]
-        new_fins = tuple(vals)
-        if out_gate == gate and new_fins == fins:
-            return None
-        return ("gate", (out_gate, new_fins))
-    if gate is Gate.NOT:
-        if fins[0] == CONST0:
-            return ("const", 1)
-        if fins[0] == CONST1:
-            return ("const", 0)
-    if gate is Gate.BUF:
-        return ("alias", fins[0])
-    if gate is Gate.MAJ3:
-        a, b, c = fins
-        if a == b:
-            return ("alias", a)
-        if a == c:
-            return ("alias", a)
-        if b == c:
-            return ("alias", b)
-        consts = {CONST0, CONST1}
-        if CONST0 in fins:
-            rest = tuple(f for f in fins if f != CONST0)
-            if len(rest) == 2:
-                return ("gate", (Gate.AND, rest))
-        if CONST1 in fins:
-            rest = tuple(f for f in fins if f != CONST1)
-            if len(rest) == 2:
-                return ("gate", (Gate.OR, rest))
-    return None
-
-
-def strash(net: LogicNetwork) -> Tuple[LogicNetwork, Dict[int, int]]:
-    """Structural hashing + local simplification + dead-node removal.
-
-    Commutative gates sort their fanins so permuted duplicates merge.
-    NOT(NOT(x)) collapses.  Runs a :func:`sweep` pass implicitly (the
-    output contains only nodes reachable from POs).
-    """
-    order = topological_order(net)
-    out = LogicNetwork(net.name)
-    mapping: Dict[int, int] = {CONST0: CONST0, CONST1: CONST1}
-    hash_table: Dict[Tuple, int] = {}
-    not_of: Dict[int, int] = {}
-    live = live_nodes(net)
-
-    for pi in net.pis:
-        mapping[pi] = out.add_pi(net.get_name(pi))
-
-    def emit(gate: Gate, fins: Tuple[int, ...]) -> int:
-        # simplify repeatedly until fixpoint
-        while True:
-            res = _fold_constants(gate, fins)
-            if res is None:
-                break
-            kind, payload = res
-            if kind == "const":
-                return CONST1 if payload else CONST0
-            if kind == "alias":
-                return payload  # already a new-net id
-            gate, fins = payload  # type: ignore[assignment]
-        if gate is Gate.NOT and fins[0] in not_of:
-            return not_of[fins[0]]
-        if gate in (Gate.AND, Gate.OR, Gate.XOR, Gate.NAND, Gate.NOR, Gate.XNOR):
-            fins = tuple(sorted(fins))
-        elif gate is Gate.MAJ3:
-            fins = tuple(sorted(fins))
-        key = (gate, fins)
-        if key in hash_table:
-            return hash_table[key]
-        node = out.add_gate(gate, fins)
-        hash_table[key] = node
-        if gate is Gate.NOT:
-            not_of[node] = fins[0]
-            # also remember inverse direction for double-negation collapse
-            not_of.setdefault(fins[0], node)
-        return node
-
-    for node in order:
-        if node in mapping or node not in live:
-            continue
-        g = net.gates[node]
-        if g is Gate.PI:
-            continue
-        fins = tuple(mapping[f] for f in net.fanins[node])
-        if g is Gate.T1_CELL:
-            key = (Gate.T1_CELL, fins)
-            if key in hash_table:
-                mapping[node] = hash_table[key]
-            else:
-                cell = out.add_t1_cell(*fins)
-                hash_table[key] = cell
-                mapping[node] = cell
-        elif is_t1_tap(g):
-            key = (g, fins)
-            if key in hash_table:
-                mapping[node] = hash_table[key]
-            else:
-                tap = out.add_t1_tap(fins[0], g)
-                hash_table[key] = tap
-                mapping[node] = tap
-        else:
-            mapping[node] = emit(g, fins)
-    for po, name in zip(net.pos, net.po_names):
-        out.add_po(mapping[po], name)
-    final, final_map = sweep(out)
-    return final, {k: final_map[v] for k, v in mapping.items() if v in final_map}
+    final_map = out.compact()
+    # downstream passes mutate the result in place (T1 substitution,
+    # balancing); they expect plain append semantics, so consing stays a
+    # construction-time tool
+    out.set_hash_cons(False)
+    return out, NodeMap(
+        {k: final_map[v] for k, v in mapping.items() if v in final_map}
+    )

@@ -15,7 +15,7 @@ enumeration fast enough for 20k-node networks).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import NetworkError
@@ -25,15 +25,42 @@ from repro.network.traversal import topological_order
 from repro.network.truth_table import TruthTable
 
 
+def leaf_signature(leaves: Tuple[int, ...]) -> int:
+    """64-bit hashed bitmask of a leaf set (bit ``leaf % 64`` per leaf).
+
+    ``sig(A) & ~sig(B) != 0`` proves A ⊄ B, so the O(cuts²) dominance
+    filter rejects almost every pair with two int ops and only falls back
+    to an exact set comparison on a signature hit (the classic ABC
+    filter).  Bounded at 64 bits on purpose: a ``1 << node_id`` exact
+    mask would make every cut carry a multi-KB big int on 20k-node
+    networks.
+    """
+    sig = 0
+    for leaf in leaves:
+        sig |= 1 << (leaf & 63)
+    return sig
+
+
 @dataclass(frozen=True)
 class Cut:
-    """A cut of some node: sorted leaf tuple + function over those leaves."""
+    """A cut of some node: sorted leaf tuple + function over those leaves.
+
+    ``signature`` is the precomputed :func:`leaf_signature` of the
+    leaves, consumed by the dominance filter.
+    """
 
     leaves: Tuple[int, ...]
     table: TruthTable
+    signature: int = field(default=-1, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.signature < 0:
+            object.__setattr__(self, "signature", leaf_signature(self.leaves))
 
     def dominates(self, other: "Cut") -> bool:
         """True if this cut's leaves are a subset of the other's."""
+        if self.signature & ~other.signature:
+            return False
         return set(self.leaves) <= set(other.leaves)
 
     def __len__(self) -> int:
@@ -132,19 +159,32 @@ def enumerate_cuts(
             if key not in chosen:
                 chosen[key] = combo
 
-        # 2) dominance filter on leaf sets
+        # 2) dominance filter: the 64-bit leaf signatures prove most
+        #    non-subset pairs in two int ops; only signature hits pay for
+        #    the exact set comparison
         keys = sorted(chosen.keys(), key=lambda t: (len(t), t))
-        kept: List[Tuple[int, ...]] = []
+        kept: List[Tuple[Tuple[int, ...], set, int]] = []
         for key in keys:
-            ks = set(key)
-            if any(set(prev) <= ks for prev in kept):
+            sig = leaf_signature(key)
+            ks = None
+            dominated = False
+            for _prev_key, prev_set, prev_sig in kept:
+                if prev_sig & ~sig:
+                    continue
+                if ks is None:
+                    ks = set(key)
+                if prev_set <= ks:
+                    dominated = True
+                    break
+            if dominated:
                 continue
-            kept.append(key)
+            kept.append((key, set(key), sig))
         kept = kept[:cuts_per_node]
 
         # 3) compose tables once per surviving leaf set
         result = [
-            Cut(key, _compose_table(net, g, chosen[key], key)) for key in kept
+            Cut(key, _compose_table(net, g, chosen[key], key), sig)
+            for key, _ks, sig in kept
         ]
         if include_trivial:
             result.append(Cut((node,), tt_var0))

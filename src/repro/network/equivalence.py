@@ -9,6 +9,11 @@ Three engines, used in escalation order by :func:`check_equivalence`:
 The T1 flow uses CEC after every replacement pass: T1 taps evaluate their
 XOR3/MAJ3/OR3 semantics in simulation, and the CNF encoder expands them
 the same way, so mapped and original networks are compared directly.
+
+The multi-round simulation engines leave ``order=None`` on every
+:func:`~repro.network.simulation.simulate` call on purpose: the kernel
+caches the topological order per mutation epoch, so all rounds of a CEC
+run share one traversal of each (unchanged) network.
 """
 
 from __future__ import annotations

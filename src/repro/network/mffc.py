@@ -23,6 +23,9 @@ class MffcComputer:
 
     def __init__(self, net: LogicNetwork):
         self.net = net
+        # a private mutable copy seeded from the kernel's maintained
+        # reference counts (no edge rescan); the walk below mutates and
+        # restores it
         self.refs = net.compute_fanout_counts()
 
     def _stoppable(self, node: int) -> bool:

@@ -1,0 +1,77 @@
+"""Id-remap events emitted by compacting/rebuilding passes.
+
+Every pass that re-assigns node ids (``compact``/``sweep``/``strash``/
+``balance``/T1 substitution) reports *how* ids moved through a single
+:class:`NodeMap` instead of an ad-hoc ``Dict[int, int]``.  A ``NodeMap``
+is an immutable mapping from old node ids to new ones; ids that did not
+survive the pass (dead nodes) are simply absent.
+
+``NodeMap`` implements the read-only :class:`collections.abc.Mapping`
+protocol, so existing code that indexed the old dicts keeps working, and
+adds the two operations passes actually chain:
+
+* :meth:`compose` — follow two remap events (``old -> mid -> new``);
+* :meth:`apply` / :meth:`apply_all` — translate ids, keeping survivors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class NodeMap(Mapping):
+    """An old-id -> new-id remap emitted by one network-restructuring pass."""
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: Optional[Dict[int, int]] = None):
+        self._map: Dict[int, int] = dict(mapping) if mapping else {}
+
+    # -- Mapping protocol ----------------------------------------------------
+
+    def __getitem__(self, old: int) -> int:
+        return self._map[old]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NodeMap({len(self._map)} ids)"
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def identity(cls, ids: Iterable[int]) -> "NodeMap":
+        """The no-op remap over *ids* (useful for passes that change nothing)."""
+        return cls({i: i for i in ids})
+
+    # -- event algebra -------------------------------------------------------
+
+    def compose(self, later: Mapping) -> "NodeMap":
+        """The remap equivalent to this event followed by *later*.
+
+        Ids dropped by either event are absent from the result.
+        """
+        return NodeMap(
+            {
+                old: later[mid]
+                for old, mid in self._map.items()
+                if mid in later
+            }
+        )
+
+    def apply(self, old: int, default: Optional[int] = None) -> Optional[int]:
+        """New id of *old*, or *default* when it did not survive."""
+        return self._map.get(old, default)
+
+    def apply_all(self, olds: Iterable[int]) -> List[int]:
+        """Translate every surviving id of *olds* (dead ids are dropped)."""
+        return [self._map[o] for o in olds if o in self._map]
+
+    def to_dict(self) -> Dict[int, int]:
+        """A mutable copy of the underlying mapping."""
+        return dict(self._map)

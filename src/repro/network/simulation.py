@@ -47,7 +47,9 @@ def simulate(
     for pi, v in zip(net.pis, pi_values):
         values[pi] = v & mask
     if order is None:
-        order = topological_order(net)
+        # cached per mutation epoch — repeated simulation rounds on the
+        # same network (the CEC loop) reuse one traversal
+        order = net.topological_order()
     gates = net.gates
     fanins = net.fanins
     for node in order:

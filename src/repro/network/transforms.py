@@ -22,12 +22,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.network.cuts import enumerate_cuts
-from repro.network.cleanup import strash, sweep
+from repro.network.cleanup import strash
 from repro.network.gates import Gate, is_t1_tap
 from repro.network.isop import isop, synthesize_sop
 from repro.network.logic_network import CONST0, CONST1, LogicNetwork
 from repro.network.mffc import MffcComputer
-from repro.network.traversal import topological_order
 
 
 def to_aig_form(net: LogicNetwork) -> LogicNetwork:
@@ -53,7 +52,7 @@ def to_aig_form(net: LogicNetwork) -> LogicNetwork:
             acc = fn(acc, v)
         return acc
 
-    for node in topological_order(net):
+    for node in net.topological_order():
         if node in mapping:
             continue
         g = net.gates[node]
@@ -136,7 +135,7 @@ def refactor(
     accepted = 0
     claimed: set = set()
 
-    for node in topological_order(net):
+    for node in net.topological_order():
         g = net.gates[node]
         if g in (Gate.PI, Gate.CONST0, Gate.CONST1, Gate.BUF):
             continue

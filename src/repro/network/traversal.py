@@ -1,11 +1,18 @@
-"""Topological traversal, levels and cone extraction."""
+"""Topological traversal, levels and cone extraction.
+
+The heavy analyses (topological order, levels, fanout lists) live on the
+:class:`~repro.network.logic_network.LogicNetwork` kernel itself, which
+caches them per mutation epoch.  The free functions here are thin,
+API-stable wrappers: repeated calls on an unchanged network are O(1).
+Treat returned lists as immutable — they are shared with the kernel
+cache.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Iterable, List, Sequence, Set
 
-from repro.errors import CycleError
-from repro.network.gates import Gate, is_t1_tap
+from repro.network.gates import is_t1_tap
 from repro.network.logic_network import LogicNetwork
 
 
@@ -13,36 +20,20 @@ def topological_order(net: LogicNetwork) -> List[int]:
     """All nodes in a fanin-before-fanout order (Kahn's algorithm).
 
     Includes dead nodes; raises :class:`CycleError` on combinational loops.
+    Cached on the network per mutation epoch.
     """
-    n = net.num_nodes()
-    indeg = [0] * n
-    fanouts = net.compute_fanouts()
-    for node in range(n):
-        indeg[node] = len(net.fanins[node])
-    queue = [node for node in range(n) if indeg[node] == 0]
-    order: List[int] = []
-    head = 0
-    while head < len(queue):
-        u = queue[head]
-        head += 1
-        order.append(u)
-        for v in fanouts[u]:
-            indeg[v] -= 1
-            if indeg[v] == 0:
-                queue.append(v)
-    if len(order) != n:
-        raise CycleError("network contains a combinational cycle")
-    return order
+    return net.topological_order()
 
 
 def levels(net: LogicNetwork, order: Sequence[int] | None = None) -> List[int]:
     """Logic level of every node.
 
     Constants and PIs are level 0.  T1 taps inherit the level of their cell
-    (the cell is the clocked element; taps are free output ports).
+    (the cell is the clocked element; taps are free output ports).  With the
+    default ``order=None`` the kernel's per-epoch cache is used.
     """
     if order is None:
-        order = topological_order(net)
+        return net.levels()
     lvl = [0] * net.num_nodes()
     for node in order:
         fins = net.fanins[node]
@@ -57,10 +48,7 @@ def levels(net: LogicNetwork, order: Sequence[int] | None = None) -> List[int]:
 
 def depth(net: LogicNetwork) -> int:
     """Maximum level over primary outputs."""
-    if not net.pos:
-        return 0
-    lvl = levels(net)
-    return max(lvl[po] for po in net.pos)
+    return net.depth()
 
 
 def transitive_fanin(net: LogicNetwork, roots: Iterable[int]) -> Set[int]:
@@ -96,13 +84,7 @@ def live_nodes(net: LogicNetwork) -> Set[int]:
     A T1 cell is live if any of its taps is live; a live cell keeps all its
     fanins alive.  PIs are always retained (interface stability).
     """
-    seen: Set[int] = set(transitive_fanin(net, net.pos))
-    # taps keep their cell alive via fanin; a live cell does NOT by itself
-    # keep dead sibling taps alive (they are simply unused output ports).
-    seen.add(0)
-    seen.add(1)
-    seen.update(net.pis)
-    return seen
+    return net.live_nodes()
 
 
 def cone_nodes(

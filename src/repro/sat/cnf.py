@@ -11,7 +11,6 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.errors import NetworkError
 from repro.network.gates import Gate, is_t1_tap
 from repro.network.logic_network import CONST0, CONST1, LogicNetwork
-from repro.network.traversal import topological_order
 
 
 class CnfBuilder:
@@ -100,7 +99,7 @@ class CnfBuilder:
         lit[CONST0] = -self.true_literal()
         for pi, l in zip(net.pis, pi_literals):
             lit[pi] = l
-        for node in topological_order(net):
+        for node in net.topological_order():
             g = net.gates[node]
             if g in (Gate.CONST0, Gate.CONST1, Gate.PI, Gate.T1_CELL):
                 continue

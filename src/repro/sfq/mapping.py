@@ -18,7 +18,6 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import MappingError
 from repro.network.gates import Gate, is_t1_tap
 from repro.network.logic_network import CONST0, CONST1, LogicNetwork
-from repro.network.traversal import topological_order
 from repro.sfq.cell_library import CellLibrary, default_library
 from repro.sfq.netlist import OUT, SFQNetlist, Signal
 
@@ -55,7 +54,7 @@ def decompose_to_library(
             fins = grouped
         return out.add_gate(gate, fins) if len(fins) > 1 else fins[0]
 
-    for node in topological_order(net):
+    for node in net.topological_order():
         if node in mapping:
             continue
         g = net.gates[node]
@@ -98,7 +97,7 @@ def map_to_sfq(
     for pi in net.pis:
         sig[pi] = (netlist.add_pi(net.get_name(pi)), OUT)
 
-    order = topological_order(net)
+    order = net.topological_order()
     used = _used_nodes(net)
     for node in order:
         if node in sig or node not in used:

@@ -1,0 +1,380 @@
+"""Randomized differential tests for the incremental network kernel.
+
+The kernel maintains fanout/ref-count indices and per-epoch caches for
+topological order and levels across every mutation.  These tests build
+random DAGs, apply random mutation sequences (``add_gate``,
+``substitute``, ``replace_fanin``) and whole-network passes (``sweep``,
+``strash``, ``balance``, ``compact``), and after every step assert that
+
+* the maintained indices match a from-scratch recomputation
+  (:meth:`LogicNetwork.check_invariants`),
+* cached topological order / levels match the reference algorithms,
+* simulation semantics and PO names survive the semantics-preserving
+  passes, node for node through the emitted :class:`NodeMap`.
+"""
+
+import random
+
+import pytest
+
+from repro.network import (
+    CONST0,
+    CONST1,
+    Gate,
+    LogicNetwork,
+    NodeMap,
+    balance,
+    exhaustive_pi_patterns,
+    simulate,
+    simulate_exhaustive,
+    strash,
+    sweep,
+    transitive_fanout,
+)
+
+GATE_POOL = [
+    (Gate.NOT, 1),
+    (Gate.BUF, 1),
+    (Gate.AND, 2),
+    (Gate.OR, 2),
+    (Gate.XOR, 2),
+    (Gate.NAND, 2),
+    (Gate.NOR, 2),
+    (Gate.XNOR, 2),
+    (Gate.AND, 3),
+    (Gate.OR, 3),
+    (Gate.MAJ3, 3),
+]
+
+
+def random_dag(rng: random.Random, n_pis: int = 5, n_gates: int = 40,
+               n_pos: int = 4, hash_cons: bool = False) -> LogicNetwork:
+    net = LogicNetwork(f"rand{rng.randint(0, 1 << 30)}", hash_cons=hash_cons)
+    for i in range(n_pis):
+        net.add_pi(f"x{i}")
+    for _ in range(n_gates):
+        gate, arity = rng.choice(GATE_POOL)
+        fins = [rng.randrange(net.num_nodes()) for _ in range(arity)]
+        net.add_gate(gate, fins)
+    candidates = [n for n in net.nodes() if net.gates[n] is not Gate.PI]
+    for i in range(n_pos):
+        net.add_po(rng.choice(candidates), f"y{i}")
+    return net
+
+
+def reference_levels(net: LogicNetwork):
+    """The seed levels algorithm, independent of the kernel cache."""
+    from repro.network.gates import is_t1_tap
+
+    order = reference_topo(net)
+    lvl = [0] * net.num_nodes()
+    for node in order:
+        fins = net.fanins[node]
+        if not fins:
+            lvl[node] = 0
+        elif is_t1_tap(net.gates[node]):
+            lvl[node] = lvl[fins[0]]
+        else:
+            lvl[node] = 1 + max(lvl[f] for f in fins)
+    return lvl
+
+
+def reference_topo(net: LogicNetwork):
+    """The seed Kahn traversal, recomputing fanouts by a full scan."""
+    n = net.num_nodes()
+    fanouts = [[] for _ in range(n)]
+    for node, fins in enumerate(net.fanins):
+        for f in fins:
+            fanouts[f].append(node)
+    indeg = [len(fins) for fins in net.fanins]
+    queue = [node for node in range(n) if indeg[node] == 0]
+    order = []
+    head = 0
+    while head < len(queue):
+        u = queue[head]
+        head += 1
+        order.append(u)
+        for v in fanouts[u]:
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                queue.append(v)
+    assert len(order) == n
+    return order
+
+
+def assert_kernel_consistent(net: LogicNetwork):
+    net.check_invariants()
+    assert net.topological_order() == reference_topo(net)
+    assert net.levels() == reference_levels(net)
+    # maintained counts == brute-force counts
+    brute = [0] * net.num_nodes()
+    for _node, fins in enumerate(net.fanins):
+        for f in fins:
+            brute[f] += 1
+    for po in net.pos:
+        brute[po] += 1
+    assert net.compute_fanout_counts() == brute
+    for node in net.nodes():
+        assert net.fanout_count(node) == brute[node]
+
+
+class TestMutationInvariants:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_mutation_sequences(self, seed):
+        rng = random.Random(1000 + seed)
+        net = random_dag(rng)
+        assert_kernel_consistent(net)
+        for _step in range(30):
+            op = rng.choice(["add", "substitute", "replace_fanin", "po"])
+            if op == "add":
+                gate, arity = rng.choice(GATE_POOL)
+                fins = [rng.randrange(net.num_nodes()) for _ in range(arity)]
+                net.add_gate(gate, fins)
+            elif op == "substitute":
+                old = rng.randrange(net.num_nodes())
+                downstream = transitive_fanout(net, [old])
+                options = [n for n in net.nodes() if n not in downstream]
+                if not options:
+                    continue
+                new = rng.choice(options)
+                expected = sum(
+                    fins.count(old) for fins in net.fanins
+                ) + list(net.pos).count(old)
+                if old == new:
+                    expected = 0
+                assert net.substitute(old, new) == expected
+                if old != new:
+                    assert net.fanout_count(old) == 0
+            elif op == "replace_fanin":
+                gated = [
+                    n for n in net.nodes() if net.fanins[n]
+                ]
+                node = rng.choice(gated)
+                old = rng.choice(net.fanins[node])
+                downstream = transitive_fanout(net, [node])
+                options = [n for n in net.nodes() if n not in downstream]
+                if not options:
+                    continue
+                net.replace_fanin(node, old, rng.choice(options))
+            else:
+                target = rng.randrange(net.num_nodes())
+                if net.gates[target] is not Gate.T1_CELL:
+                    net.add_po(target, None)
+            assert_kernel_consistent(net)
+
+    def test_substitute_is_fanout_local(self):
+        # the returned count equals the reference scan's, and the old
+        # node's maintained fanout empties out
+        net = LogicNetwork()
+        a, b = net.add_pi("a"), net.add_pi("b")
+        g = net.add_and(a, b)
+        h = net.add_or(g, g)
+        net.add_po(g)
+        net.add_po(h)
+        assert net.substitute(g, a) == 3  # two fanin slots + one PO
+        assert net.fanout_count(g) == 0
+        assert net.fanin(h) == (a, a)
+        assert_kernel_consistent(net)
+
+    def test_epoch_caching_identity(self):
+        rng = random.Random(7)
+        net = random_dag(rng)
+        first = net.topological_order()
+        assert net.topological_order() is first  # cache hit, no recompute
+        net.add_and(net.pis[0], net.pis[1])
+        second = net.topological_order()
+        assert second is not first
+        assert_kernel_consistent(net)
+
+
+class TestCompactAndSweep:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sweep_preserves_node_semantics(self, seed):
+        rng = random.Random(2000 + seed)
+        net = random_dag(rng)
+        k = len(net.pis)
+        patterns = exhaustive_pi_patterns(k)
+        before = simulate(net, patterns, 1 << k)
+        swept, remap = sweep(net)
+        assert isinstance(remap, NodeMap)
+        assert_kernel_consistent(swept)
+        assert swept.po_names == net.po_names
+        assert [swept.get_name(pi) for pi in swept.pis] == [
+            net.get_name(pi) for pi in net.pis
+        ]
+        after = simulate(swept, patterns, 1 << k)
+        # every surviving node keeps its function, id-for-id via the remap
+        for old, new in remap.items():
+            if net.gates[old] is Gate.T1_CELL:
+                continue
+            assert before[old] == after[new], f"node {old}->{new} changed"
+        # and every PO root survives
+        for po in net.pos:
+            assert po in remap
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_compact_in_place_matches_rebuild(self, seed):
+        rng = random.Random(3000 + seed)
+        net = random_dag(rng)
+        # sweep == clone + compact by construction; check against the
+        # from-scratch reference: id sequence, gates, fanins, POs
+        rebuilt, remap_a = sweep(net)
+        work = net.clone()
+        remap_b = work.compact()
+        assert work.gates == rebuilt.gates
+        assert work.fanins == rebuilt.fanins
+        assert work.pis == rebuilt.pis
+        assert work.pos == rebuilt.pos
+        assert work.po_names == rebuilt.po_names
+        assert remap_a.to_dict() == remap_b.to_dict()
+        assert_kernel_consistent(work)
+
+    def test_mutate_after_compact(self):
+        rng = random.Random(99)
+        net = random_dag(rng)
+        net.compact()
+        # the compacted network must stay fully mutable and consistent
+        g = net.add_xor(net.pis[0], net.pis[1])
+        net.add_po(g)
+        net.substitute(net.pos[0], net.pis[2])
+        assert_kernel_consistent(net)
+
+
+class TestStrashAndBalance:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_strash_differential(self, seed):
+        rng = random.Random(4000 + seed)
+        net = random_dag(rng)
+        hashed, remap = strash(net)
+        assert_kernel_consistent(hashed)
+        assert hashed.po_names == net.po_names
+        tts_a = simulate_exhaustive(net)
+        tts_b = simulate_exhaustive(hashed)
+        assert [t.bits for t in tts_a] == [t.bits for t in tts_b]
+        k = len(net.pis)
+        patterns = exhaustive_pi_patterns(k)
+        before = simulate(net, patterns, 1 << k)
+        after = simulate(hashed, patterns, 1 << k)
+        for old, new in remap.items():
+            if net.gates[old] is Gate.T1_CELL:
+                continue
+            assert before[old] == after[new]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_balance_differential(self, seed):
+        rng = random.Random(5000 + seed)
+        net = random_dag(rng, n_gates=50)
+        balanced, mapping = balance(net)
+        assert_kernel_consistent(balanced)
+        assert balanced.po_names == net.po_names
+        tts_a = simulate_exhaustive(net)
+        tts_b = simulate_exhaustive(balanced)
+        assert [t.bits for t in tts_a] == [t.bits for t in tts_b]
+        assert balanced.depth() <= net.depth()
+
+
+class TestHashConsing:
+    def test_duplicate_gate_returns_existing_id(self):
+        net = LogicNetwork(hash_cons=True)
+        a, b = net.add_pi(), net.add_pi()
+        g1 = net.add_and(a, b)
+        g2 = net.add_and(a, b)
+        g3 = net.add_and(b, a)  # commutative canonicalisation
+        assert g1 == g2 == g3
+        assert_kernel_consistent(net)
+
+    def test_folding_at_creation(self):
+        net = LogicNetwork(hash_cons=True)
+        a = net.add_pi()
+        assert net.add_and(a, CONST1) == a
+        assert net.add_or(a, CONST0) == a
+        assert net.add_and(a, CONST0) == CONST0
+        assert net.add_buf(a) == a
+        n = net.add_not(a)
+        assert net.add_not(n) == a  # double negation collapses
+        assert net.add_xor(a, a) == CONST0
+        assert net.add_maj3(a, a, n) == a
+        assert_kernel_consistent(net)
+
+    def test_t1_blocks_hash_cons(self):
+        net = LogicNetwork(hash_cons=True)
+        a, b, c = (net.add_pi() for _ in range(3))
+        cell1 = net.add_t1_cell(a, b, c)
+        cell2 = net.add_t1_cell(a, b, c)
+        assert cell1 == cell2
+        s1 = net.add_t1_tap(cell1, Gate.T1_S)
+        s2 = net.add_t1_tap(cell2, Gate.T1_S)
+        assert s1 == s2
+        assert_kernel_consistent(net)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_hash_consed_replay_equals_strash(self, seed):
+        # replaying a network's live structure through a hash-consing
+        # kernel and compacting is exactly strash: same nodes, same ids
+        from repro.network.traversal import live_nodes
+
+        rng = random.Random(6000 + seed)
+        net = random_dag(rng)
+        live = live_nodes(net)
+        consed = LogicNetwork(net.name, hash_cons=True)
+        mapping = {CONST0: CONST0, CONST1: CONST1}
+        for pi in net.pis:
+            mapping[pi] = consed.add_pi(net.get_name(pi))
+        for node in net.topological_order():
+            if node in mapping or node not in live or net.gates[node] is Gate.PI:
+                continue
+            fins = tuple(mapping[f] for f in net.fanins[node])
+            mapping[node] = consed.add_gate(net.gates[node], fins)
+        for po, name in zip(net.pos, net.po_names):
+            consed.add_po(mapping[po], name)
+        assert_kernel_consistent(consed)
+        consed.compact()
+        hashed, _ = strash(net)
+        assert consed.gates == hashed.gates
+        assert consed.fanins == hashed.fanins
+        assert consed.pos == hashed.pos
+        tts_a = simulate_exhaustive(net)
+        tts_b = simulate_exhaustive(consed)
+        assert [t.bits for t in tts_a] == [t.bits for t in tts_b]
+        assert consed.num_nodes() <= net.num_nodes()
+
+    def test_substitute_keeps_hash_table_consistent(self):
+        net = LogicNetwork(hash_cons=True)
+        a, b, c = (net.add_pi() for _ in range(3))
+        g1 = net.add_and(a, b)
+        g2 = net.add_or(g1, c)
+        net.add_po(g2)
+        net.substitute(g1, c)
+        assert_kernel_consistent(net)
+        # after the rewrite, an equal-structure add must dedupe onto a
+        # node with that structure, not resurrect the stale key
+        g3 = net.add_or(c, c)  # folds to alias c
+        assert g3 == c
+
+
+class TestNodeMap:
+    def test_mapping_protocol_and_compose(self):
+        m1 = NodeMap({1: 10, 2: 20, 3: 30})
+        m2 = NodeMap({10: 100, 30: 300})
+        assert m1[1] == 10
+        assert 2 in m1
+        assert len(m1) == 3
+        assert dict(m1) == {1: 10, 2: 20, 3: 30}
+        composed = m1.compose(m2)
+        assert composed.to_dict() == {1: 100, 3: 300}
+        assert m1.apply(7) is None
+        assert m1.apply_all([3, 7, 1]) == [30, 10]
+        assert NodeMap.identity([0, 1]).to_dict() == {0: 0, 1: 1}
+
+    def test_chained_remaps_across_passes(self):
+        rng = random.Random(42)
+        net = random_dag(rng)
+        hashed, m1 = strash(net)
+        balanced, m2 = balance(hashed)
+        chained = m1.compose(m2)
+        k = len(net.pis)
+        patterns = exhaustive_pi_patterns(k)
+        before = simulate(net, patterns, 1 << k)
+        after = simulate(balanced, patterns, 1 << k)
+        for po in net.pos:
+            assert before[po] == after[chained[po]]
