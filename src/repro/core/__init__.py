@@ -22,11 +22,14 @@ from repro.core.flow import (
     run_flow,
 )
 from repro.core.phase_assignment import (
+    HeuristicReport,
     assign_stages,
     assign_stages_heuristic,
     assign_stages_ilp,
+    build_ilp_model,
     t1_lower_bound,
 )
+from repro.core.schedule import StageSchedule, asap_stages
 from repro.core.report import (
     PAPER_AVERAGES,
     PAPER_TABLE1,
@@ -54,19 +57,23 @@ __all__ = [
     "DetectionResult",
     "FlowConfig",
     "FlowResult",
+    "HeuristicReport",
     "InsertionReport",
     "OutputMatch",
     "PAPER_AVERAGES",
     "PAPER_TABLE1",
+    "StageSchedule",
     "T1Candidate",
     "T1InputPlan",
     "T1_OUTPUTS",
     "Table",
     "TableRow",
     "apply_candidates",
+    "asap_stages",
     "assign_stages",
     "assign_stages_heuristic",
     "assign_stages_ilp",
+    "build_ilp_model",
     "detect_and_replace",
     "find_candidates",
     "fmt_thousands",

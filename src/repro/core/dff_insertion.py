@@ -110,42 +110,55 @@ def t1_input_cost(t1_stage: int, fanin_stages: Sequence[int], n: int) -> float:
         return INF
 
 
-def plan_t1_inputs_cp(
-    t1_stage: int, fanin_stages: Sequence[int], n: int
-) -> T1InputPlan:
-    """The same model on the CP solver (paper's CP-SAT formulation).
+def build_t1_input_model(t1_stage: int, fanin_stages: Sequence[int], n: int):
+    """The T1 staggering model (eq. 5) on the solver-model IR.
 
     Slot variables live in the freshness window, are pairwise distinct
     (eq. 5) and >= their driver stage; the objective counts chain DFFs.
-    Used for cross-validation of :func:`plan_t1_inputs`.
+    The ``AllDifferent`` makes ``solve(backend="auto")`` route it to the
+    CP solver (the paper's CP-SAT formulation).  Returns
+    ``(model, slot_vars, k_vars)``.
     """
-    from repro.errors import InfeasibleError
-    from repro.solvers import CpModel
+    from repro.solvers import SolverModel
 
     lo = max(0, t1_stage - n)
     hi = t1_stage - 1
     if hi < lo:
         raise TimingError("empty T1 freshness window")
-    model = CpModel()
+    model = SolverModel()
     slot_vars = []
     k_vars = []
     for i, sd in enumerate(fanin_stages):
         if sd > hi:
             raise TimingError(f"fanin {i} at {sd} cannot precede T1 at {t1_stage}")
-        slot = model.new_int_var(max(lo, sd), hi, f"slot{i}")
+        slot = model.add_var(max(lo, sd), hi, name=f"slot{i}")
         # k_i = chain length; n*k_i >= slot_i - sd and minimisation make
         # k_i == ceil((slot_i - sd) / n) without any reification
-        k = model.new_int_var(0, n + 2, f"k{i}")
+        k = model.add_var(0, n + 2, name=f"k{i}")
         model.add_linear({k: n, slot: -1}, ">=", -sd)
         slot_vars.append(slot)
         k_vars.append(k)
     model.add_all_different(slot_vars)
+    model.minimize({k: 1 for k in k_vars})
+    return model, slot_vars, k_vars
+
+
+def plan_t1_inputs_cp(
+    t1_stage: int, fanin_stages: Sequence[int], n: int
+) -> T1InputPlan:
+    """:func:`build_t1_input_model` solved on the auto-routed backend.
+
+    Used for cross-validation of :func:`plan_t1_inputs`.
+    """
+    from repro.errors import InfeasibleError
+
+    model, slot_vars, k_vars = build_t1_input_model(t1_stage, fanin_stages, n)
     try:
-        assignment, total = model.minimize({k: 1 for k in k_vars})
+        sol = model.solve(backend="auto")
     except InfeasibleError as exc:
         raise TimingError(f"CP model infeasible: {exc}") from exc
-    slots = tuple(assignment[v.index] for v in slot_vars)
-    dffs = tuple(assignment[v.index] for v in k_vars)
+    slots = tuple(sol.int_value(v) for v in slot_vars)
+    dffs = tuple(sol.int_value(v) for v in k_vars)
     return T1InputPlan(slots=slots, dffs=dffs)  # type: ignore[arg-type]
 
 
@@ -194,6 +207,10 @@ def insert_dffs(
         if cell.clocked and cell.stage is None:
             raise TimingError(f"cell {cell.index} has no stage")
 
+    # structural snapshot (epoch-cached; usually shared with the phase-
+    # assignment pass that just ran) — taken before any chain insertion
+    structure = netlist.structure()
+
     # ---- plan T1 fanin slots first (their chains are dedicated) ----------
     t1_plans: Dict[int, T1InputPlan] = {}
     original_t1 = [c.index for c in cells if c.kind is CellKind.T1]
@@ -209,18 +226,11 @@ def insert_dffs(
     po_boundary = max_stage + 1
 
     # ---- group ordinary consumers by net ------------------------------------
-    # consumers: signal -> list of (consumer cell id, fanin index)
-    net_consumers: Dict[Signal, List[Tuple[int, int]]] = {}
-    for cell in cells:
-        if cell.kind is CellKind.T1:
-            continue  # handled by dedicated chains
-        for i, sig in enumerate(cell.fanins):
-            net_consumers.setdefault(sig, []).append((cell.index, i))
-
-    po_by_signal: Dict[Signal, List[int]] = {}
-    if balance_pos:
-        for po_idx, (sig, _name) in enumerate(netlist.pos):
-            po_by_signal.setdefault(sig, []).append(po_idx)
+    # maintained (consumer, fanin index) slots per signal, T1 fanins excluded
+    net_consumers: Dict[Signal, List[Tuple[int, int]]] = structure.net_slots
+    po_by_signal: Dict[Signal, List[int]] = (
+        structure.po_slots if balance_pos else {}
+    )
 
     def insert_for_group(
         sig: Signal,
@@ -259,17 +269,11 @@ def insert_dffs(
             cs = cells[cons_idx].stage
             tap_idx = edge_dffs(cs - ds, n)  # elements before the consumer
             if tap_idx > 0:
-                new_sig: Signal = (chain[tap_idx - 1], OUT)
-                fans = list(cells[cons_idx].fanins)
-                fans[fanin_i] = new_sig
-                cells[cons_idx].fanins = tuple(fans)
+                netlist.replace_fanin(cons_idx, fanin_i, (chain[tap_idx - 1], OUT))
         for po_idx in po_indices:
             tap_idx = edge_dffs(po_boundary - ds, n)
             if tap_idx > 0:
-                netlist.pos[po_idx] = (
-                    (chain[tap_idx - 1], OUT),
-                    netlist.pos[po_idx][1],
-                )
+                netlist.replace_po(po_idx, (chain[tap_idx - 1], OUT))
 
     all_signals = sorted(set(net_consumers) | set(po_by_signal))
     if share_chains:
@@ -289,7 +293,6 @@ def insert_dffs(
     for idx in original_t1:
         cell = cells[idx]
         plan = t1_plans[idx]
-        new_fanins: List[Signal] = []
         for fanin_i, sig in enumerate(cell.fanins):
             driver = netlist.driver_cell(sig)
             ds = driver.stage
@@ -297,7 +300,6 @@ def insert_dffs(
             slot = plan.slots[fanin_i]
             count = plan.dffs[fanin_i]
             if count == 0:
-                new_fanins.append(sig)
                 continue
             # chain of `count` DFFs ending exactly at `slot`; spread the
             # positions backwards with gaps <= n and >= 1
@@ -317,6 +319,5 @@ def insert_dffs(
                 dff = netlist.add_dff(prev, stage=p)
                 prev = (dff, OUT)
             report.t1_stagger_dffs += count
-            new_fanins.append(prev)
-        cell.fanins = tuple(new_fanins)
+            netlist.replace_fanin(idx, fanin_i, prev)
     return report

@@ -57,7 +57,7 @@ class FlowConfig:
     free_pi_phases: bool = True
     materialize_splitters: bool = False
     balance_network: bool = False  # depth-rebalance associative trees first
-    phase_method: str = "heuristic"  # or "ilp"
+    phase_method: str = "heuristic"  # or "ilp" / "auto" (exact when small)
     sweeps: int = 4
     cuts_per_node: int = 8
     t1_min_outputs: int = 2

@@ -2,17 +2,22 @@
 
 Two engines over the same constraint system:
 
-* :func:`assign_stages_ilp` — the paper's ILP, encoded 1:1 on our MILP
-  solver (per-edge DFF counters ``k_e`` with ``n·k_e ≥ σ_v − σ_u``,
+* :func:`assign_stages_ilp` — the paper's ILP, built once on the
+  :class:`~repro.solvers.model.SolverModel` IR and solved on the MILP
+  backend (per-edge DFF counters ``k_e`` with ``n·k_e ≥ σ_v − σ_u``,
   objective ``Σ (k_e − 1)``; the T1 constraint (eq. 3) is encoded with a
   permutation of the offsets {1, 2, 3} over the three fanins).  Exact but
   exponential in the worst case — used for small netlists and as the
   reference in tests.
-* :func:`assign_stages_heuristic` — scalable coordinate descent that
-  optimises the *true* insertion cost (shared per-net chains + the exact
-  T1 staggering cost of eq. 4, via the same planner DFF insertion uses),
-  starting from an ASAP schedule.  This is what the flow runs on
-  paper-scale circuits.
+* :func:`assign_stages_heuristic` — scalable coordinate descent on the
+  :class:`~repro.core.schedule.StageSchedule` kernel, which prices the
+  *true* insertion cost (shared per-net chains + the exact T1 staggering
+  cost of eq. 4, via the same planner DFF insertion uses) with
+  delta-evaluated moves and a live PO boundary, starting from an ASAP
+  schedule.  This is what the flow runs on paper-scale circuits.
+
+``assign_stages(..., method="auto")`` routes between the two by netlist
+size: small netlists get the exact ILP, everything else the heuristic.
 
 Constraints (both engines):
 
@@ -24,111 +29,55 @@ Constraints (both engines):
 
 from __future__ import annotations
 
-import math
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
-from repro.errors import SolverError, TimingError
+from repro.core.schedule import (
+    INF,
+    StageSchedule,
+    asap_stages,
+    t1_lower_bound,
+    _t1_eval,
+)
+from repro.errors import SolverError, SolverLimitError
 from repro.sfq.multiphase import edge_dffs
-from repro.sfq.netlist import CellKind, SFQNetlist, Signal
-
-INF = float("inf")
+from repro.sfq.netlist import CellKind, NetlistStructure, SFQNetlist, Signal
 
 
-# ---------------------------------------------------------------------------
-# shared structure extraction
-# ---------------------------------------------------------------------------
+def _Structure(netlist: SFQNetlist) -> NetlistStructure:
+    """Deprecated alias: the structure view now lives on the netlist.
 
-class _Structure:
-    """Cached fanin/fanout structure of the clocked cells."""
-
-    def __init__(self, netlist: SFQNetlist):
-        self.netlist = netlist
-        self.n = netlist.n_phases
-        cells = netlist.cells
-        self.is_t1 = [c.kind is CellKind.T1 for c in cells]
-        self.clocked = [c.clocked for c in cells]
-        self.fanin_drivers: List[List[int]] = [
-            [sig[0] for sig in c.fanins] for c in cells
-        ]
-        self.fanin_signals: List[Tuple[Signal, ...]] = [c.fanins for c in cells]
-        # one net per driven signal (a T1 cell drives up to three nets)
-        self.nets: Dict[Signal, List[int]] = {}
-        # T1 cells fed by each driver cell
-        self.t1_consumers: List[Set[int]] = [set() for _ in cells]
-        for c in cells:
-            for sig in c.fanins:
-                if c.kind is CellKind.T1:
-                    self.t1_consumers[sig[0]].add(c.index)
-                else:
-                    self.nets.setdefault(sig, []).append(c.index)
-        # ordinary (non-T1) consumers per driver cell, by signal
-        self.signals_of_cell: List[List[Signal]] = [[] for _ in cells]
-        for sig in self.nets:
-            self.signals_of_cell[sig[0]].append(sig)
-        const_kinds = (CellKind.CONST0, CellKind.CONST1)
-        self.po_signals: Set[Signal] = {
-            sig
-            for sig, _name in netlist.pos
-            if cells[sig[0]].kind not in const_kinds
-        }
-        for sig in self.po_signals:
-            self.nets.setdefault(sig, [])
-            if sig not in self.signals_of_cell[sig[0]]:
-                self.signals_of_cell[sig[0]].append(sig)
-        # flat ordinary-consumer list per driver cell (for window bounds)
-        self.net_consumers: List[List[int]] = [[] for _ in cells]
-        for sig, cons in self.nets.items():
-            self.net_consumers[sig[0]].extend(cons)
-        self.order = netlist.topological_cells()
-
-
-def t1_lower_bound(fanin_stages: Sequence[int]) -> int:
-    """Eq. 3: σ(T1) ≥ max(σ(i1)+3, σ(i2)+2, σ(i3)+1), fanins sorted."""
-    s = sorted(fanin_stages)
-    return max(s[0] + 3, s[1] + 2, s[2] + 1)
-
-
-def asap_stages(structure: _Structure) -> List[Optional[int]]:
-    """Earliest feasible stage per cell (PIs at 0)."""
-    nl = structure.netlist
-    stages: List[Optional[int]] = [None] * len(nl.cells)
-    for idx in structure.order:
-        cell = nl.cells[idx]
-        if cell.kind is CellKind.PI:
-            stages[idx] = 0
-            continue
-        if not cell.clocked:
-            continue
-        fin = [stages[d] for d in structure.fanin_drivers[idx]]
-        if any(f is None for f in fin):
-            raise TimingError(f"cell {idx} depends on an unstaged cell")
-        if structure.is_t1[idx]:
-            stages[idx] = t1_lower_bound(fin)  # type: ignore[arg-type]
-        else:
-            stages[idx] = (max(fin) + 1) if fin else 1  # type: ignore[arg-type]
-    return stages
+    The per-call fanin/fanout extraction this class performed is replaced
+    by the epoch-cached :meth:`repro.sfq.netlist.SFQNetlist.structure`.
+    """
+    return netlist.structure()
 
 
 # ---------------------------------------------------------------------------
 # true-cost evaluation (matches what DFF insertion will materialise)
 # ---------------------------------------------------------------------------
 
-@lru_cache(maxsize=200_000)
+#: Bound on the module-level staggering-cost memo.  The scheduling kernel
+#: uses its own per-instance memo (scoped to one netlist's lifetime); this
+#: module-global cache only serves ad-hoc `t1_stagger_cost` calls, so it is
+#: kept deliberately small for long batch runs over many netlists.
+T1_COST_CACHE_SIZE = 16_384
+
+
+@lru_cache(maxsize=T1_COST_CACHE_SIZE)
 def _t1_cost_cached(gaps: Tuple[int, int, int], n: int, head: int) -> float:
     """Staggering cost keyed by (sorted gaps, n, clamped window head).
 
     ``head`` is min(t1_stage, n): when the T1 sits closer than n stages to
     stage 0 the freshness window is clipped, which changes feasibility.
     """
-    from repro.core.dff_insertion import t1_input_cost
+    return _t1_eval(gaps, n, head)
 
-    t1_stage = max(n, head) if head >= n else head
-    # reconstruct representative stages: t1 at `t1_stage`, fanins below it
-    fanins = [t1_stage - g for g in gaps]
-    if any(f < 0 for f in fanins):
-        return INF
-    return t1_input_cost(t1_stage, fanins, n)
+
+def clear_t1_cost_cache() -> None:
+    """Drop the module-level staggering-cost memo (batch-runner hygiene)."""
+    _t1_cost_cached.cache_clear()
 
 
 def t1_stagger_cost(t1_stage: int, fanin_stages: Sequence[int], n: int) -> float:
@@ -159,8 +108,93 @@ def _net_cost(
 
 
 # ---------------------------------------------------------------------------
-# heuristic: coordinate descent on the true cost
+# heuristic: coordinate descent on the schedule kernel
 # ---------------------------------------------------------------------------
+
+@dataclass
+class HeuristicReport:
+    """Statistics of one coordinate-descent run (for benchmarks/tests)."""
+
+    sweeps_run: int = 0
+    moves_evaluated: int = 0
+    moves_applied: int = 0
+    final_cost: float = 0.0
+
+
+def _candidate_stages(
+    st: NetlistStructure,
+    stages: Sequence[Optional[int]],
+    x: int,
+    lb: int,
+    ub: int,
+    is_pi: bool,
+    n: int,
+    max_candidates: int,
+) -> Set[int]:
+    """Candidate stages for cell *x*: window ends, fine offsets near the
+    current position (T1 staggering moves in ±1 steps), and the
+    ceil-breakpoints of all incident edges."""
+    cands: Set[int] = {lb, ub, stages[x]}  # type: ignore[arg-type]
+    for delta in (-2, -1, 1, 2):
+        for base in (stages[x], lb, ub):
+            s = base + delta  # type: ignore[operator]
+            if lb <= s <= ub:
+                cands.add(s)
+    if is_pi:
+        cands.update(range(lb, ub + 1))
+    for d in st.fanin_drivers[x]:
+        base = stages[d]
+        k = 0
+        while True:
+            s = base + k * n + 1  # type: ignore[operator]
+            if s > ub:
+                break
+            if s >= lb:
+                cands.add(s)
+                if s + n - 1 <= ub:
+                    cands.add(s + n - 1)
+            k += 1
+            if len(cands) > max_candidates:
+                break
+    for c in list(st.net_consumers[x]) + list(st.t1_consumers[x]):
+        base = stages[c]
+        k = 1
+        while True:
+            s = base - k * n  # type: ignore[operator]
+            if s < lb:
+                break
+            if s <= ub:
+                cands.add(s)
+            k += 1
+            if len(cands) > max_candidates:
+                break
+    return cands
+
+
+def _move_window(
+    st: NetlistStructure,
+    stages: Sequence[Optional[int]],
+    x: int,
+    is_pi: bool,
+    boundary: Optional[int],
+    n: int,
+) -> Tuple[int, int]:
+    """Feasible [lb, ub] stage window of cell *x* given its neighbours."""
+    if is_pi:
+        lb = 0
+    else:
+        fins = [stages[d] for d in st.fanin_drivers[x]]
+        if st.is_t1[x]:
+            lb = t1_lower_bound(fins)  # type: ignore[arg-type]
+        else:
+            lb = (max(fins) + 1) if fins else 1  # type: ignore[arg-type]
+    ubs = [stages[c] - 1 for c in st.net_consumers[x]]  # type: ignore[operator]
+    ubs += [stages[t] - 1 for t in st.t1_consumers[x]]  # type: ignore[operator]
+    ub = min(ubs) if ubs else (boundary if boundary is not None else lb)
+    if is_pi:
+        ub = min(ub, n - 1)
+    return lb, ub
+
 
 def assign_stages_heuristic(
     netlist: SFQNetlist,
@@ -168,18 +202,93 @@ def assign_stages_heuristic(
     include_po_balancing: bool = True,
     max_candidates: int = 160,
     free_pi_phases: bool = True,
-) -> None:
+) -> HeuristicReport:
     """ASAP + iterative per-cell improvement; sets ``cell.stage`` in place.
+
+    Runs on the :class:`~repro.core.schedule.StageSchedule` kernel: every
+    candidate stage is priced by delta evaluation against the maintained
+    cost terms, and the PO boundary stays current across moves instead of
+    being snapshotted once per sweep (the seed implementation's stale
+    boundary could misprice moves near the schedule's deep end).
 
     ``free_pi_phases`` lets a primary input arrive at any phase of epoch 0
     (stage 0..n−1) instead of pinning it to phase 0 — the environment can
     deliver each input pulse on whichever clock phase suits the schedule,
     which is what makes T1 staggering "free" for input-fed cells.
     """
-    st = _Structure(netlist)
+    st = netlist.structure()
+    kernel = StageSchedule(
+        netlist, include_po_balancing=include_po_balancing, structure=st
+    )
+    n = kernel.n
+    stages = kernel.stages  # shared view; mutated only via apply_move
+    report = HeuristicReport()
+
+    for _sweep in range(sweeps):
+        report.sweeps_run = _sweep + 1
+        improved = False
+        # alternate direction each sweep
+        order = st.order if _sweep % 2 == 0 else list(reversed(st.order))
+        for x in order:
+            is_pi = netlist.cells[x].kind is CellKind.PI
+            if not st.clocked[x] and not (is_pi and free_pi_phases):
+                continue
+            boundary = kernel.boundary()
+            lb, ub = _move_window(st, stages, x, is_pi, boundary, n)
+            if ub < lb:
+                continue
+            cands = _candidate_stages(
+                st, stages, x, lb, ub, is_pi, n, max_candidates
+            )
+            current = stages[x]
+            best_stage = current
+            g_inf, g_fin = kernel.state()
+            inc_inf = kernel.incident_inf(x) if g_inf else 0
+            # the seed's local comparison key: INF while any term incident
+            # to x is infeasible, the finite cost sum otherwise
+            best_cost = INF if inc_inf else g_fin
+            for cand in sorted(cands):
+                if cand == current:
+                    continue
+                c_inf, c_fin = kernel.state_if_moved(x, cand)
+                cost = INF if inc_inf + (c_inf - g_inf) else c_fin
+                if cost < best_cost - 1e-9:
+                    best_cost = cost
+                    best_stage = cand
+            if best_stage != current:
+                kernel.apply_move(x, best_stage)  # type: ignore[arg-type]
+                improved = True
+        if not improved:
+            break
+
+    kernel.write_stages()
+    report.moves_evaluated = kernel.moves_evaluated
+    report.moves_applied = kernel.moves_applied
+    report.final_cost = kernel.total()
+    return report
+
+
+def assign_stages_rescan_reference(
+    netlist: SFQNetlist,
+    sweeps: int = 4,
+    include_po_balancing: bool = True,
+    max_candidates: int = 160,
+    free_pi_phases: bool = True,
+) -> HeuristicReport:
+    """The seed scan-and-rebuild heuristic, kept verbatim as an oracle.
+
+    Re-sums every incident net/T1 term from scratch for every candidate
+    and snapshots the PO boundary once per sweep (including its stale-
+    boundary mispricing — see the kernel regression tests).  Used by the
+    differential tests and :mod:`benchmarks.bench_schedule` to measure
+    the delta-evaluation speedup in the same run; the flow itself always
+    runs the kernel-based :func:`assign_stages_heuristic`.
+    """
+    st = netlist.structure()
     n = st.n
     stages = asap_stages(st)
     nl = netlist.cells
+    report = HeuristicReport()
 
     def po_boundary() -> Optional[int]:
         if not include_po_balancing:
@@ -218,67 +327,20 @@ def assign_stages_heuristic(
         return total
 
     for _sweep in range(sweeps):
+        report.sweeps_run = _sweep + 1
         boundary = po_boundary()
         improved = False
-        # alternate direction each sweep
         order = st.order if _sweep % 2 == 0 else list(reversed(st.order))
         for x in order:
             is_pi = netlist.cells[x].kind is CellKind.PI
             if not st.clocked[x] and not (is_pi and free_pi_phases):
                 continue
-            # feasible window
-            if is_pi:
-                lb = 0
-            else:
-                fins = [stages[d] for d in st.fanin_drivers[x]]
-                if st.is_t1[x]:
-                    lb = t1_lower_bound(fins)  # type: ignore[arg-type]
-                else:
-                    lb = (max(fins) + 1) if fins else 1  # type: ignore[arg-type]
-            ubs = [stages[c] - 1 for c in st.net_consumers[x]]
-            ubs += [stages[t] - 1 for t in st.t1_consumers[x]]
-            ub = min(ubs) if ubs else (boundary if boundary is not None else lb)
-            if is_pi:
-                ub = min(ub, n - 1)
+            lb, ub = _move_window(st, stages, x, is_pi, boundary, n)
             if ub < lb:
                 continue
-            # candidate stages: window ends, fine offsets near the current
-            # position (T1 staggering moves in ±1 steps), and the
-            # ceil-breakpoints of all incident edges
-            cands: Set[int] = {lb, ub, stages[x]}  # type: ignore[arg-type]
-            for delta in (-2, -1, 1, 2):
-                for base in (stages[x], lb, ub):
-                    s = base + delta
-                    if lb <= s <= ub:
-                        cands.add(s)
-            if is_pi:
-                cands.update(range(lb, ub + 1))
-            for d in st.fanin_drivers[x]:
-                base = stages[d]
-                k = 0
-                while True:
-                    s = base + k * n + 1
-                    if s > ub:
-                        break
-                    if s >= lb:
-                        cands.add(s)
-                        if s + n - 1 <= ub:
-                            cands.add(s + n - 1)
-                    k += 1
-                    if len(cands) > max_candidates:
-                        break
-            for c in list(st.net_consumers[x]) + list(st.t1_consumers[x]):
-                base = stages[c]
-                k = 1
-                while True:
-                    s = base - k * n
-                    if s < lb:
-                        break
-                    if s <= ub:
-                        cands.add(s)
-                    k += 1
-                    if len(cands) > max_candidates:
-                        break
+            cands = _candidate_stages(
+                st, stages, x, lb, ub, is_pi, n, max_candidates
+            )
             current = stages[x]
             best_stage = current
             best_cost = local_cost(x, boundary)
@@ -286,12 +348,14 @@ def assign_stages_heuristic(
                 if cand == current:
                     continue
                 stages[x] = cand
+                report.moves_evaluated += 1
                 cost = local_cost(x, boundary)
                 if cost < best_cost - 1e-9:
                     best_cost = cost
                     best_stage = cand
             stages[x] = best_stage
             if best_stage != current:
+                report.moves_applied += 1
                 improved = True
         if not improved:
             break
@@ -299,26 +363,32 @@ def assign_stages_heuristic(
     for cell in netlist.cells:
         if cell.clocked or cell.kind is CellKind.PI:
             cell.stage = stages[cell.index]
+    report.final_cost = StageSchedule(
+        netlist,
+        include_po_balancing=include_po_balancing,
+        stages=stages,
+        structure=st,
+    ).total()
+    return report
 
 
 # ---------------------------------------------------------------------------
-# exact ILP (the paper's formulation)
+# exact ILP (the paper's formulation, on the solver-model IR)
 # ---------------------------------------------------------------------------
 
-def assign_stages_ilp(
+def build_ilp_model(
     netlist: SFQNetlist,
     horizon: Optional[int] = None,
-    node_limit: int = 50_000,
-) -> None:
-    """Exact phase assignment on the MILP solver; small netlists only.
+):
+    """Build the paper's phase-assignment ILP on the solver-model IR.
 
-    Objective: per-edge DFF proxy Σ(k_e − 1) with n·k_e ≥ σ_v − σ_u — the
-    formulation of ref. [10] extended with the T1 offset permutation of
-    eq. 3.  Sets ``cell.stage`` in place.
+    Returns ``(model, sigma, k_vars)`` where *sigma* maps clocked cell
+    indices to their stage variables.  The model carries no
+    ``AllDifferent``, so ``solve(backend="auto")`` routes it to MILP.
     """
-    from repro.solvers import MilpModel
+    from repro.solvers import SolverModel
 
-    st = _Structure(netlist)
+    st = netlist.structure()
     n = st.n
     asap = asap_stages(st)
     max_asap = max(
@@ -327,7 +397,7 @@ def assign_stages_ilp(
     )
     if horizon is None:
         horizon = max_asap + 2 * n
-    model = MilpModel()
+    model = SolverModel()
     sigma: Dict[int, object] = {}
     for cell in netlist.cells:
         if cell.clocked:
@@ -335,29 +405,23 @@ def assign_stages_ilp(
                 1, horizon, name=f"sigma{cell.index}"
             )
 
-    def stage_term(idx: int):
-        """(coeff dict contribution, constant) for a driver stage."""
-        if netlist.cells[idx].kind is CellKind.PI:
-            return None, 0  # PIs pinned at 0
-        return sigma[idx], None
-
     k_vars = []
     for cell in netlist.cells:
         if not cell.clocked:
             continue
         v = cell.index
         if st.is_t1[v]:
-            # offset permutation z[i][o]: fanin i gets offset o in {1,2,3}
+            # offset permutation z[i][o]: fanin i gets offset o in {1, 2, 3}
             zs = [
                 [model.add_var(0, 1, name=f"z{v}_{i}_{o}") for o in (1, 2, 3)]
                 for i in range(3)
             ]
             for i in range(3):
-                model.add_constraint(
+                model.add_linear(
                     {zs[i][0]: 1, zs[i][1]: 1, zs[i][2]: 1}, "==", 1
                 )
             for o in range(3):
-                model.add_constraint(
+                model.add_linear(
                     {zs[0][o]: 1, zs[1][o]: 1, zs[2][o]: 1}, "==", 1
                 )
             for i, d in enumerate(st.fanin_drivers[v]):
@@ -371,7 +435,7 @@ def assign_stages_ilp(
                 coeffs[zs[i][0]] = coeffs.get(zs[i][0], 0) - 1
                 coeffs[zs[i][1]] = coeffs.get(zs[i][1], 0) - 2
                 coeffs[zs[i][2]] = coeffs.get(zs[i][2], 0) - 3
-                model.add_constraint(coeffs, ">=", const)
+                model.add_linear(coeffs, ">=", const)
         # per-edge DFF counters for every fanin edge
         for d in st.fanin_drivers[v]:
             k = model.add_var(1, horizon, name=f"k_{d}_{v}")
@@ -379,19 +443,41 @@ def assign_stages_ilp(
             coeffs = {k: n, sigma[v]: -1}
             if netlist.cells[d].kind is not CellKind.PI:
                 coeffs[sigma[d]] = 1
-            model.add_constraint(coeffs, ">=", 0)
+            model.add_linear(coeffs, ">=", 0)
             # plain precedence for non-T1 consumers
             if not st.is_t1[v]:
                 pc = {sigma[v]: 1}
                 if netlist.cells[d].kind is not CellKind.PI:
                     pc[sigma[d]] = -1
-                model.add_constraint(pc, ">=", 1)
+                model.add_linear(pc, ">=", 1)
 
     model.minimize({k: 1 for k in k_vars})
-    sol = model.solve(node_limit=node_limit)
+    return model, sigma, k_vars
+
+
+def assign_stages_ilp(
+    netlist: SFQNetlist,
+    horizon: Optional[int] = None,
+    node_limit: int = 50_000,
+) -> None:
+    """Exact phase assignment on the MILP backend; small netlists only.
+
+    Objective: per-edge DFF proxy Σ(k_e − 1) with n·k_e ≥ σ_v − σ_u — the
+    formulation of ref. [10] extended with the T1 offset permutation of
+    eq. 3.  Sets ``cell.stage`` in place.
+    """
+    model, sigma, _ = build_ilp_model(netlist, horizon=horizon)
+    sol = model.solve(backend="auto", node_limit=node_limit)
     for cell in netlist.cells:
         if cell.clocked:
             cell.stage = sol.int_value(sigma[cell.index])
+
+
+#: method="auto" runs the exact ILP when the netlist is at most this many
+#: clocked cells (and at most AUTO_ILP_MAX_T1 T1 blocks — each T1 adds a
+#: 3x3 permutation sub-model), falling back to the heuristic above that.
+AUTO_ILP_MAX_CELLS = 24
+AUTO_ILP_MAX_T1 = 4
 
 
 def assign_stages(
@@ -399,10 +485,48 @@ def assign_stages(
     method: str = "heuristic",
     **kwargs,
 ) -> None:
-    """Dispatch on *method* ("heuristic" or "ilp")."""
+    """Dispatch on *method* ("heuristic", "ilp" or "auto").
+
+    ``method="auto"`` picks exact-vs-heuristic by size: netlists with at
+    most :data:`AUTO_ILP_MAX_CELLS` clocked cells (and at most
+    :data:`AUTO_ILP_MAX_T1` T1 blocks) get the exact ILP; larger ones the
+    kernel heuristic.  If the exact search exhausts its node budget —
+    with or without an incumbent — auto falls back to the heuristic
+    instead of failing or committing an unproven solution.
+
+    Note that the two engines optimise different objectives: the ILP is
+    exact on the per-edge proxy Σ(k_e − 1) with PIs pinned at stage 0,
+    so the heuristic-only knobs (``sweeps``, ``include_po_balancing``,
+    ``free_pi_phases``) do not apply on the exact branch.
+    """
     if method == "heuristic":
         assign_stages_heuristic(netlist, **kwargs)
     elif method == "ilp":
         assign_stages_ilp(netlist, **kwargs)
+    elif method == "auto":
+        ilp_kwargs = {
+            k: kwargs[k] for k in ("horizon", "node_limit") if k in kwargs
+        }
+        heur_kwargs = {k: v for k, v in kwargs.items() if k not in ilp_kwargs}
+        clocked = sum(1 for c in netlist.cells if c.clocked)
+        n_t1 = sum(1 for c in netlist.cells if c.kind is CellKind.T1)
+        if clocked <= AUTO_ILP_MAX_CELLS and n_t1 <= AUTO_ILP_MAX_T1:
+            model, sigma, _ = build_ilp_model(
+                netlist, horizon=ilp_kwargs.get("horizon")
+            )
+            try:
+                sol = model.solve(
+                    backend="auto",
+                    node_limit=ilp_kwargs.get("node_limit", 50_000),
+                )
+            except SolverLimitError:
+                sol = None  # no incumbent at the node limit
+            if sol is not None and sol.optimal:
+                for cell in netlist.cells:
+                    if cell.clocked:
+                        cell.stage = sol.int_value(sigma[cell.index])
+                return
+            # budget exhausted (unproven incumbent or none) -> heuristic
+        assign_stages_heuristic(netlist, **heur_kwargs)
     else:
         raise SolverError(f"unknown phase-assignment method {method!r}")

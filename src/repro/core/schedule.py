@@ -1,0 +1,653 @@
+"""Incremental schedule kernel (§II-B): delta-evaluated stage moves.
+
+The coordinate-descent heuristic of :mod:`repro.core.phase_assignment`
+optimises the *true* insertion cost
+
+    Σ_nets  max_v ⌈(σ_v − σ_d)/n⌉ − 1    (shared per-net chains, eq. 5)
+  + Σ_T1    c_T1(σ_T1, fanin stages)     (staggering cost, eq. 4)
+  + PO balancing against the boundary σ_max + 1.
+
+The seed implementation re-summed every incident term from scratch for
+every candidate stage of every cell.  :class:`StageSchedule` maintains
+the cost terms instead, exploiting two structural facts:
+
+* a net's chain cost is **monotone in its consumer stages** —
+  ``max_v edge_dffs(σ_v − σ_d, n) == edge_dffs(max_v σ_v − σ_d, n)`` and
+  feasibility only needs ``min_v σ_v − σ_d ≥ 1`` — so one min/max
+  multiset of consumer stages per net prices a *driver* move in O(1) and
+  a *consumer* move in amortised O(1);
+* the PO boundary is ``max stage + 1``, so a maintained stage histogram
+  keeps it current across moves instead of once per sweep (the seed's
+  per-sweep snapshot let `local_cost` price PO balancing against a stale
+  boundary).
+
+:meth:`cost_if_moved` prices a candidate without mutating anything;
+:meth:`apply_move` commits it.  Both touch only the terms incident to
+the moved cell (plus the PO terms when the boundary itself shifts), so a
+sweep costs O(moves × changed terms) instead of
+O(moves × candidates × incident-edges).
+
+The T1 staggering cost is memoised *per kernel instance* (the memo dies
+with the schedule), unlike the seed's unbounded module-global cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import TimingError
+from repro.sfq.multiphase import edge_dffs_unchecked
+from repro.sfq.netlist import CellKind, NetlistStructure, SFQNetlist, Signal
+
+INF = float("inf")
+
+
+def t1_lower_bound(fanin_stages: Sequence[int]) -> int:
+    """Eq. 3: σ(T1) ≥ max(σ(i1)+3, σ(i2)+2, σ(i3)+1), fanins sorted."""
+    s = sorted(fanin_stages)
+    return max(s[0] + 3, s[1] + 2, s[2] + 1)
+
+
+def asap_stages(structure: NetlistStructure) -> List[Optional[int]]:
+    """Earliest feasible stage per cell (PIs at 0)."""
+    nl = structure.netlist
+    stages: List[Optional[int]] = [None] * len(nl.cells)
+    for idx in structure.order:
+        cell = nl.cells[idx]
+        if cell.kind is CellKind.PI:
+            stages[idx] = 0
+            continue
+        if not cell.clocked:
+            continue
+        fin = [stages[d] for d in structure.fanin_drivers[idx]]
+        if any(f is None for f in fin):
+            raise TimingError(f"cell {idx} depends on an unstaged cell")
+        if structure.is_t1[idx]:
+            stages[idx] = t1_lower_bound(fin)  # type: ignore[arg-type]
+        else:
+            stages[idx] = (max(fin) + 1) if fin else 1  # type: ignore[arg-type]
+    return stages
+
+
+def _t1_eval(gaps: Tuple[int, ...], n: int, head: int) -> float:
+    """Staggering cost for (sorted gaps, clamped window head).
+
+    ``head = min(σ_T1, n)``: when the T1 sits closer than n stages to
+    stage 0 the freshness window is clipped, which changes feasibility;
+    beyond that the cost only depends on the gaps.
+    """
+    from repro.core.dff_insertion import t1_input_cost
+
+    fanins = [head - g for g in gaps]
+    if any(f < 0 for f in fanins):
+        return INF
+    return t1_input_cost(head, fanins, n)
+
+
+class _StageBag:
+    """Multiset of consumer stages with maintained min/max.
+
+    ``add``/``remove`` are O(1) except when an extreme value drains,
+    which rescans the (few) distinct stage values; ``peek_moved`` prices
+    a move without mutating.
+    """
+
+    __slots__ = ("counts", "mn", "mx")
+
+    def __init__(self, stages: Sequence[int] = ()):
+        self.counts: Dict[int, int] = {}
+        self.mn: Optional[int] = None
+        self.mx: Optional[int] = None
+        for s in stages:
+            self.add(s)
+
+    def add(self, s: int, k: int = 1) -> None:
+        c = self.counts
+        c[s] = c.get(s, 0) + k
+        if self.mx is None or s > self.mx:
+            self.mx = s
+        if self.mn is None or s < self.mn:
+            self.mn = s
+
+    def remove(self, s: int, k: int = 1) -> None:
+        c = self.counts
+        left = c[s] - k
+        if left:
+            c[s] = left
+            return
+        del c[s]
+        if not c:
+            self.mn = self.mx = None
+            return
+        if s == self.mx:
+            self.mx = max(c)
+        if s == self.mn:
+            self.mn = min(c)
+
+    def peek_moved(self, old: int, new: int, k: int = 1) -> Tuple[int, int]:
+        """(min, max) after moving *k* occurrences of *old* to *new*."""
+        c = self.counts
+        drained = c.get(old, 0) == k
+        mx = self.mx
+        if new >= mx:  # type: ignore[operator]
+            mx = new
+        elif old == mx and drained:
+            mx = new
+            for v in c:
+                if v != old and v > mx:
+                    mx = v
+        mn = self.mn
+        if new <= mn:  # type: ignore[operator]
+            mn = new
+        elif old == mn and drained:
+            mn = new
+            for v in c:
+                if v != old and v < mn:
+                    mn = v
+        return mn, mx  # type: ignore[return-value]
+
+
+def _net_term_cost(
+    ds: int, mn: Optional[int], mx: Optional[int], boundary: Optional[int], n: int
+) -> float:
+    """Shared-chain DFFs of one net from its consumer-stage extremes.
+
+    INF when any consumer is not strictly later than the driver; the PO
+    boundary contributes only when it lies past the driver (matching the
+    seed's `_net_cost`).
+    """
+    worst = 0
+    if mx is not None:
+        if mn - ds < 1:  # type: ignore[operator]
+            return INF
+        worst = edge_dffs_unchecked(mx - ds, n)
+    if boundary is not None:
+        gap = boundary - ds
+        if gap >= 1:
+            w = edge_dffs_unchecked(gap, n)
+            if w > worst:
+                worst = w
+    return float(worst)
+
+
+class StageSchedule:
+    """Maintained stage vector + per-net / per-T1 cost terms.
+
+    Owns ``stages`` (read it freely, mutate only through
+    :meth:`apply_move`), the running total cost, and — when
+    ``include_po_balancing`` — the PO boundary, kept current across
+    every move.
+    """
+
+    def __init__(
+        self,
+        netlist: SFQNetlist,
+        *,
+        include_po_balancing: bool = True,
+        stages: Optional[Sequence[Optional[int]]] = None,
+        structure: Optional[NetlistStructure] = None,
+    ):
+        st = structure if structure is not None else netlist.structure()
+        self.netlist = netlist
+        self.st = st
+        self.n = st.n
+        self.include_po = include_po_balancing
+        self.stages: List[Optional[int]] = (
+            list(stages) if stages is not None else asap_stages(st)
+        )
+        self.moves_evaluated = 0
+        self.moves_applied = 0
+        self._t1_memo: Dict[Tuple[Tuple[int, ...], int], float] = {}
+
+        cells = netlist.cells
+        # consumer-stage multiset per net + consumer multiplicity per net
+        self._bags: Dict[Signal, _StageBag] = {}
+        self._net_mult: Dict[Signal, Dict[int, int]] = {}
+        for sig, cons in st.nets.items():
+            mult: Dict[int, int] = {}
+            for c in cons:
+                mult[c] = mult.get(c, 0) + 1
+            self._net_mult[sig] = mult
+            self._bags[sig] = _StageBag(
+                [self.stages[c] for c in cons]  # type: ignore[list-item]
+            )
+        # per-cell: nets consumed as an ordinary consumer, with multiplicity
+        self._consumed: List[Dict[Signal, int]] = [{} for _ in cells]
+        for sig, mult in self._net_mult.items():
+            for c, k in mult.items():
+                self._consumed[c][sig] = k
+        # stage histogram of the clocked cells -> live PO boundary
+        self._stage_counts: Dict[int, int] = {}
+        self._max_clocked = 0
+        if include_po_balancing:
+            counts = self._stage_counts
+            for i, c in enumerate(cells):
+                s = self.stages[i]
+                if st.clocked[i] and s is not None:
+                    counts[s] = counts.get(s, 0) + 1
+            if counts:
+                self._max_clocked = max(counts)
+        # cost terms and running total
+        self._net_cost: Dict[Signal, float] = {}
+        self._t1_cost: Dict[int, float] = {}
+        self._inf_terms = 0
+        self._finite = 0.0
+        b = self.boundary()
+        for sig, bag in self._bags.items():
+            ds = self.stages[sig[0]]
+            if ds is None:
+                raise TimingError(f"net driver {sig[0]} has no stage")
+            cost = _net_term_cost(
+                ds, bag.mn, bag.mx, b if sig in st.po_signals else None, self.n
+            )
+            self._net_cost[sig] = cost
+            if cost == INF:
+                self._inf_terms += 1
+            else:
+                self._finite += cost
+        for i, is_t1 in enumerate(st.is_t1):
+            if not is_t1:
+                continue
+            cost = self._t1(
+                self.stages[i],  # type: ignore[arg-type]
+                [self.stages[d] for d in st.fanin_drivers[i]],  # type: ignore[misc]
+            )
+            self._t1_cost[i] = cost
+            if cost == INF:
+                self._inf_terms += 1
+            else:
+                self._finite += cost
+
+    # -- cost primitives ----------------------------------------------------
+
+    def _t1(self, t_stage: int, fanin_stages: Sequence[int]) -> float:
+        """Memoised staggering cost of one T1 term (eq. 4)."""
+        gaps = tuple(sorted(t_stage - s for s in fanin_stages))
+        if gaps[0] < 1:
+            return INF
+        key = (gaps, min(t_stage, self.n))
+        memo = self._t1_memo
+        cost = memo.get(key)
+        if cost is None:
+            cost = _t1_eval(gaps, self.n, key[1])
+            memo[key] = cost
+        return cost
+
+    def total(self) -> float:
+        """The maintained schedule cost (INF while any term is infeasible)."""
+        return INF if self._inf_terms else self._finite
+
+    def state(self) -> Tuple[int, float]:
+        """(infeasible term count, finite cost sum) — the move-comparison key.
+
+        Comparing states lexicographically reproduces the seed's local
+        comparison: a move that improves its incident terms is accepted
+        even while some *other* term is still infeasible (the collapsed
+        :meth:`total` is INF on both sides of such a comparison and could
+        never accept it).
+        """
+        return self._inf_terms, self._finite
+
+    def boundary(self) -> Optional[int]:
+        """The live PO-balancing boundary (max clocked stage + 1)."""
+        if not self.include_po:
+            return None
+        return self._max_clocked + 1
+
+    def incident_inf(self, x: int) -> int:
+        """Infeasible terms among everything incident to cell *x*.
+
+        The incident set matches the seed heuristic's "affected" set: the
+        nets *x* drives, the nets behind its fanins (even when *x* is a
+        T1 and its own fanins are not part of those nets), and the T1
+        terms touching *x*.  Combined with the global delta of
+        :meth:`state_if_moved` this reconstructs the seed's local
+        comparison key exactly: only incident terms can change on a move,
+        so ``incident_inf(x) + (inf' - inf)`` is the candidate's incident
+        infeasibility count.
+        """
+        st = self.st
+        net_cost = self._net_cost
+        cnt = 0
+        seen: Set[Signal] = set()
+        for sig in st.signals_of_cell[x]:
+            seen.add(sig)
+            if net_cost[sig] == INF:
+                cnt += 1
+        for sig in st.fanin_signals[x]:
+            if sig in seen:
+                continue
+            seen.add(sig)
+            if net_cost.get(sig) == INF:
+                cnt += 1
+        for t in st.t1_consumers[x]:
+            if self._t1_cost[t] == INF:
+                cnt += 1
+        if st.is_t1[x] and self._t1_cost[x] == INF:
+            cnt += 1
+        return cnt
+
+    def _peek_max_clocked(self, s0: int, s: int) -> int:
+        """Max clocked stage after moving one clocked cell s0 -> s."""
+        mx = self._max_clocked
+        if s >= mx:
+            return s
+        counts = self._stage_counts
+        if s0 == mx and counts[s0] == 1:
+            m = s
+            for v in counts:
+                if v != s0 and v > m:
+                    m = v
+            return m
+        return mx
+
+    # -- move evaluation ----------------------------------------------------
+
+    def cost_if_moved(self, x: int, s: int) -> float:
+        """Total schedule cost if cell *x* moved to stage *s* (no mutation)."""
+        inf, fin = self.state_if_moved(x, s)
+        return INF if inf else fin
+
+    def state_if_moved(self, x: int, s: int) -> Tuple[int, float]:
+        """:meth:`state` if cell *x* moved to stage *s* (no mutation).
+
+        O(terms incident to x); O(+ #PO nets) only when the move shifts
+        the PO boundary itself.
+        """
+        s0 = self.stages[x]
+        if s == s0:
+            return self.state()
+        self.moves_evaluated += 1
+        st = self.st
+        stages = self.stages
+        n = self.n
+        inf = self._inf_terms
+        fin = self._finite
+        b0 = self.boundary()
+        b1 = b0
+        if self.include_po and st.clocked[x]:
+            b1 = self._peek_max_clocked(s0, s) + 1  # type: ignore[arg-type]
+        po_signals = st.po_signals
+        seen: Set[Signal] = set()
+        # nets driven by x: only the driver stage changes
+        for sig in st.signals_of_cell[x]:
+            seen.add(sig)
+            bag = self._bags[sig]
+            new = _net_term_cost(
+                s, bag.mn, bag.mx, b1 if sig in po_signals else None, n
+            )
+            old = self._net_cost[sig]
+            if old != new:
+                if old == INF:
+                    inf -= 1
+                else:
+                    fin -= old
+                if new == INF:
+                    inf += 1
+                else:
+                    fin += new
+        # nets x consumes: one consumer entry moves in the stage multiset
+        for sig, k in self._consumed[x].items():
+            seen.add(sig)
+            bag = self._bags[sig]
+            mn, mx = bag.peek_moved(s0, s, k)  # type: ignore[arg-type]
+            new = _net_term_cost(
+                stages[sig[0]],  # type: ignore[arg-type]
+                mn,
+                mx,
+                b1 if sig in po_signals else None,
+                n,
+            )
+            old = self._net_cost[sig]
+            if old != new:
+                if old == INF:
+                    inf -= 1
+                else:
+                    fin -= old
+                if new == INF:
+                    inf += 1
+                else:
+                    fin += new
+        # T1 terms fed by x (and x's own term when x is a T1)
+        for t in st.t1_consumers[x]:
+            fins = [s if d == x else stages[d] for d in st.fanin_drivers[t]]
+            new = self._t1(stages[t], fins)  # type: ignore[arg-type]
+            old = self._t1_cost[t]
+            if old != new:
+                if old == INF:
+                    inf -= 1
+                else:
+                    fin -= old
+                if new == INF:
+                    inf += 1
+                else:
+                    fin += new
+        if st.is_t1[x]:
+            fins = [stages[d] for d in st.fanin_drivers[x]]
+            new = self._t1(s, fins)  # type: ignore[arg-type]
+            old = self._t1_cost[x]
+            if old != new:
+                if old == INF:
+                    inf -= 1
+                else:
+                    fin -= old
+                if new == INF:
+                    inf += 1
+                else:
+                    fin += new
+        # boundary shift reprices every remaining PO net
+        if b1 != b0:
+            for sig in po_signals:
+                if sig in seen:
+                    continue
+                bag = self._bags[sig]
+                new = _net_term_cost(
+                    stages[sig[0]], bag.mn, bag.mx, b1, n  # type: ignore[arg-type]
+                )
+                old = self._net_cost[sig]
+                if old != new:
+                    if old == INF:
+                        inf -= 1
+                    else:
+                        fin -= old
+                    if new == INF:
+                        inf += 1
+                    else:
+                        fin += new
+        return inf, fin
+
+    def apply_move(self, x: int, s: int) -> None:
+        """Commit the move of cell *x* to stage *s*, updating every term."""
+        s0 = self.stages[x]
+        if s == s0:
+            return
+        self.moves_applied += 1
+        st = self.st
+        n = self.n
+        b0 = self.boundary()
+        if self.include_po and st.clocked[x]:
+            counts = self._stage_counts
+            counts[s] = counts.get(s, 0) + 1
+            left = counts[s0] - 1  # type: ignore[index]
+            if left:
+                counts[s0] = left  # type: ignore[index]
+            else:
+                del counts[s0]  # type: ignore[arg-type]
+            if s > self._max_clocked:
+                self._max_clocked = s
+            elif s0 == self._max_clocked and s0 not in counts:
+                self._max_clocked = max(counts)
+        b1 = self.boundary()
+        self.stages[x] = s
+        stages = self.stages
+        po_signals = st.po_signals
+        seen: Set[Signal] = set()
+        for sig in st.signals_of_cell[x]:
+            seen.add(sig)
+            bag = self._bags[sig]
+            self._set_net_cost(
+                sig,
+                _net_term_cost(
+                    s, bag.mn, bag.mx, b1 if sig in po_signals else None, n
+                ),
+            )
+        for sig, k in self._consumed[x].items():
+            seen.add(sig)
+            bag = self._bags[sig]
+            bag.remove(s0, k)  # type: ignore[arg-type]
+            bag.add(s, k)
+            self._set_net_cost(
+                sig,
+                _net_term_cost(
+                    stages[sig[0]],  # type: ignore[arg-type]
+                    bag.mn,
+                    bag.mx,
+                    b1 if sig in po_signals else None,
+                    n,
+                ),
+            )
+        for t in st.t1_consumers[x]:
+            fins = [stages[d] for d in st.fanin_drivers[t]]
+            self._set_t1_cost(t, self._t1(stages[t], fins))  # type: ignore[arg-type]
+        if st.is_t1[x]:
+            fins = [stages[d] for d in st.fanin_drivers[x]]
+            self._set_t1_cost(x, self._t1(s, fins))  # type: ignore[arg-type]
+        if b1 != b0:
+            for sig in po_signals:
+                if sig in seen:
+                    continue
+                bag = self._bags[sig]
+                self._set_net_cost(
+                    sig,
+                    _net_term_cost(
+                        stages[sig[0]], bag.mn, bag.mx, b1, n  # type: ignore[arg-type]
+                    ),
+                )
+
+    def _set_term_cost(self, store: Dict, key, new: float) -> None:
+        """Replace one cost term in *store*, adjusting the running totals.
+
+        The same inf-count/finite-sum adjustment is inlined (on local
+        accumulators) in :meth:`state_if_moved`'s probe loops — keep the
+        two in lockstep or the maintained total diverges from
+        :meth:`recompute_total`.
+        """
+        old = store[key]
+        if old == new:
+            return
+        if old == INF:
+            self._inf_terms -= 1
+        else:
+            self._finite -= old
+        if new == INF:
+            self._inf_terms += 1
+        else:
+            self._finite += new
+        store[key] = new
+
+    def _set_net_cost(self, sig: Signal, new: float) -> None:
+        self._set_term_cost(self._net_cost, sig, new)
+
+    def _set_t1_cost(self, t: int, new: float) -> None:
+        self._set_term_cost(self._t1_cost, t, new)
+
+    # -- verification / finalisation ----------------------------------------
+
+    def recompute_total(self) -> float:
+        """From-scratch recomputation of the schedule cost (test oracle)."""
+        st = self.st
+        stages = self.stages
+        b = None
+        if self.include_po:
+            mx = max(
+                (
+                    stages[i]
+                    for i in range(len(self.netlist.cells))
+                    if st.clocked[i] and stages[i] is not None
+                ),
+                default=0,
+            )
+            b = mx + 1
+        inf = 0
+        fin = 0.0
+        for sig, cons in st.nets.items():
+            ds = stages[sig[0]]
+            cs = [stages[c] for c in cons]
+            cost = _net_term_cost(
+                ds,  # type: ignore[arg-type]
+                min(cs) if cs else None,  # type: ignore[type-var]
+                max(cs) if cs else None,  # type: ignore[type-var]
+                b if sig in st.po_signals else None,
+                self.n,
+            )
+            if cost == INF:
+                inf += 1
+            else:
+                fin += cost
+        for i, is_t1 in enumerate(st.is_t1):
+            if not is_t1:
+                continue
+            cost = self._t1(
+                stages[i],  # type: ignore[arg-type]
+                [stages[d] for d in st.fanin_drivers[i]],  # type: ignore[misc]
+            )
+            if cost == INF:
+                inf += 1
+            else:
+                fin += cost
+        return INF if inf else fin
+
+    def check_invariants(self) -> None:
+        """Raise TimingError when a maintained value diverged from scratch.
+
+        Compares the running total, every net/T1 term, the stage
+        histogram and the boundary against a from-scratch recomputation.
+        """
+        st = self.st
+        stages = self.stages
+        b = self.boundary()
+        if self.include_po:
+            mx = max(
+                (
+                    stages[i]
+                    for i in range(len(self.netlist.cells))
+                    if st.clocked[i] and stages[i] is not None
+                ),
+                default=0,
+            )
+            if b != mx + 1:
+                raise TimingError(f"stale boundary: kept {b}, actual {mx + 1}")
+        for sig, cons in st.nets.items():
+            cs = [stages[c] for c in cons]
+            want = _net_term_cost(
+                stages[sig[0]],  # type: ignore[arg-type]
+                min(cs) if cs else None,  # type: ignore[type-var]
+                max(cs) if cs else None,  # type: ignore[type-var]
+                b if sig in st.po_signals else None,
+                self.n,
+            )
+            if self._net_cost[sig] != want:
+                raise TimingError(
+                    f"net {sig}: kept cost {self._net_cost[sig]}, actual {want}"
+                )
+        for i, is_t1 in enumerate(st.is_t1):
+            if is_t1:
+                want = self._t1(
+                    stages[i],  # type: ignore[arg-type]
+                    [stages[d] for d in st.fanin_drivers[i]],  # type: ignore[misc]
+                )
+                if self._t1_cost[i] != want:
+                    raise TimingError(
+                        f"T1 {i}: kept cost {self._t1_cost[i]}, actual {want}"
+                    )
+        want_total = self.recompute_total()
+        if self.total() != want_total:
+            raise TimingError(
+                f"running total {self.total()} != recomputed {want_total}"
+            )
+
+    def write_stages(self) -> None:
+        """Write the stage vector back onto the netlist's clocked cells."""
+        for cell in self.netlist.cells:
+            if cell.clocked or cell.kind is CellKind.PI:
+                cell.stage = self.stages[cell.index]

@@ -13,9 +13,11 @@ from repro.pipeline.context import FlowContext
 class PhaseAssignPass:
     """Assign clock stages to every cell of the mapped netlist.
 
-    ``method="heuristic"`` runs the scalable coordinate-descent sweeps;
+    ``method="heuristic"`` runs the delta-evaluated coordinate-descent
+    sweeps on the :class:`~repro.core.schedule.StageSchedule` kernel;
     ``method="ilp"`` solves the exact per-edge objective on the MILP
-    solver (small netlists only — see :class:`IlpPhasePass`).
+    backend (small netlists only — see :class:`IlpPhasePass`);
+    ``method="auto"`` picks exact-vs-heuristic by netlist size.
     """
 
     method: str = "heuristic"
@@ -29,10 +31,10 @@ class PhaseAssignPass:
             raise PipelineError(
                 "phase_assign needs a mapped netlist — run 'map_to_sfq' first"
             )
-        if self.method == "heuristic":
+        if self.method in ("heuristic", "auto"):
             assign_stages(
                 ctx.netlist,
-                method="heuristic",
+                method=self.method,
                 sweeps=self.sweeps,
                 include_po_balancing=self.balance_pos,
                 free_pi_phases=self.free_pi_phases,

@@ -47,7 +47,16 @@ def edge_dffs(gap: int, n_phases: int) -> int:
     """Path-balancing DFFs on one producer→consumer edge of stage gap *gap*."""
     if gap < 1:
         raise TimingError(f"stage gap must be >= 1, got {gap}")
-    return math.ceil(gap / n_phases) - 1
+    return (gap - 1) // n_phases
+
+
+def edge_dffs_unchecked(gap: int, n_phases: int) -> int:
+    """`edge_dffs` without the gap validation, for hot loops.
+
+    ``(gap - 1) // n == ceil(gap / n) - 1`` for every gap >= 1; the caller
+    must have established feasibility (gap >= 1) already.
+    """
+    return (gap - 1) // n_phases
 
 
 def net_dffs(gaps: Sequence[int], n_phases: int) -> int:

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.errors import NetworkError
-from repro.sfq.netlist import Cell, CellKind, OUT, SFQNetlist, Signal
+from repro.sfq.netlist import CellKind, OUT, SFQNetlist, Signal
 
 
 @dataclass
@@ -64,10 +64,7 @@ def materialize_splitters(netlist: SFQNetlist) -> SplitterReport:
         while len(outputs) < len(consumers):
             outputs.sort()  # deterministic
             src = outputs.pop(0)
-            idx = len(netlist.cells)
-            netlist.cells.append(
-                Cell(idx, CellKind.SPLITTER, fanins=(src,))
-            )
+            idx = netlist.add_splitter(src)
             outputs.append((idx, "o0"))
             outputs.append((idx, "o1"))
             report.splitters_added += 1
@@ -77,11 +74,9 @@ def materialize_splitters(netlist: SFQNetlist) -> SplitterReport:
         report.trees[sig] = len(consumers) - 1
         for (cons, slot_idx), out_sig in zip(consumers, outputs):
             if cons == -1:
-                netlist.pos[slot_idx] = (out_sig, netlist.pos[slot_idx][1])
+                netlist.replace_po(slot_idx, out_sig)
             else:
-                fans = list(netlist.cells[cons].fanins)
-                fans[slot_idx] = out_sig
-                netlist.cells[cons].fanins = tuple(fans)
+                netlist.replace_fanin(cons, slot_idx, out_sig)
     return report
 
 

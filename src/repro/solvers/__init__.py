@@ -1,13 +1,17 @@
 """Optimisation substrate: LP (simplex), MILP (B&B), finite-domain CP.
 
-This package replaces Google OR-Tools in the paper's flow: the phase
-assignment ILP (§II-B) runs on :class:`MilpModel` and the DFF-insertion
-model (§II-C) on :class:`CpModel`.
+This package replaces Google OR-Tools in the paper's flow.  The
+:class:`SolverModel` IR is the primary modelling surface: the phase
+assignment ILP (§II-B) and the DFF-insertion CP model (§II-C) both
+build one declarative model and route to a backend by capability
+(``solve(backend="auto")``).  The raw engines — :class:`MilpModel`,
+:class:`CpModel`, :func:`solve_lp` — remain available for direct use.
 """
 
 from repro.solvers.cpsat import CpModel, IntVar
-from repro.solvers.linprog import LpResult, solve_lp
+from repro.solvers.linprog import LpResult, solve_bounded_lp, solve_lp
 from repro.solvers.milp import MilpModel, MilpSolution, MilpVar
+from repro.solvers.model import ModelSolution, ModelVar, SolverModel
 
 __all__ = [
     "CpModel",
@@ -16,5 +20,9 @@ __all__ = [
     "MilpModel",
     "MilpSolution",
     "MilpVar",
+    "ModelSolution",
+    "ModelVar",
+    "SolverModel",
+    "solve_bounded_lp",
     "solve_lp",
 ]

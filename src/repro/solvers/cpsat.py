@@ -284,3 +284,58 @@ class CpModel:
                 return best, best_obj
             best = cand
             best_obj = value(cand)
+
+
+# ---------------------------------------------------------------------------
+# solver-model IR backend
+# ---------------------------------------------------------------------------
+
+#: IR features this backend can lower (see repro.solvers.model)
+IR_FEATURES = frozenset({"all_different", "not_equal"})
+
+
+def solve_model(model, node_limit: int = 200_000):
+    """Lower a :class:`repro.solvers.model.SolverModel` and solve it.
+
+    Requires every variable to be an integer with finite bounds;
+    lowering preserves declaration order.  Returns
+    ``(values, objective, optimal)``.
+    """
+    cm = CpModel()
+    for v in model.vars:
+        if not v.integer:
+            raise SolverError(
+                f"CP backend needs integer variables ({v.name!r} is continuous)"
+            )
+        if not (math.isfinite(v.lb) and math.isfinite(v.ub)):
+            raise SolverError(
+                f"CP backend needs finite domains ({v.name!r} is unbounded)"
+            )
+        cm.new_int_var(int(v.lb), int(v.ub), v.name)
+    for kind, payload in model.constraints:
+        if kind == "linear":
+            coeffs, sense, rhs = payload
+            if any(not float(c).is_integer() for c in coeffs.values()) or (
+                not float(rhs).is_integer()
+            ):
+                raise SolverError("CP backend needs integer coefficients")
+            cm.add_linear(
+                {i: int(c) for i, c in coeffs.items()}, sense, int(rhs)
+            )
+        elif kind == "alldiff":
+            cm.add_all_different([cm.vars[i] for i in payload])
+        else:  # pragma: no cover - defensive
+            raise SolverError(f"CP backend cannot lower {kind!r} constraints")
+    if not model.objective:
+        assignment = cm.solve(node_limit=node_limit)
+        return {i: float(v) for i, v in assignment.items()}, 0.0, True
+    if any(not float(c).is_integer() for c in model.objective.values()):
+        raise SolverError("CP backend needs integer objective coefficients")
+    sign = -1 if model.maximizing else 1
+    coeffs = {i: sign * int(c) for i, c in model.objective.items()}
+    assignment, total = cm.minimize(coeffs, node_limit=node_limit)
+    return (
+        {i: float(v) for i, v in assignment.items()},
+        float(sign * total),
+        True,
+    )

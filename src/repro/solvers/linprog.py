@@ -14,6 +14,7 @@ for the modest phase-assignment ILPs of the paper, not for industrial LPs.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -29,6 +30,77 @@ class LpResult:
     x: np.ndarray
     objective: float
     iterations: int
+
+
+def solve_bounded_lp(
+    c: Sequence[float],
+    bounds: Sequence[tuple],
+    rows: Sequence[tuple],
+    max_iterations: int = 50_000,
+) -> LpResult:
+    """LP with per-variable [lb, ub] bounds and (coeffs, sense, rhs) rows.
+
+    *bounds* is one ``(lb, ub)`` pair per variable (``ub`` may be inf);
+    *rows* are ``(coeff_dict, sense, rhs)`` with sense in <=, >=, ==.
+    Internally shifts to ``x = lb + y`` standard form and solves with
+    :func:`solve_lp`; the result is reported in the original coordinates
+    with the true objective ``c @ x``.  This is the single standard-form
+    builder shared by the MILP relaxation and the solver-model IR's
+    :meth:`~repro.solvers.model.SolverModel.lp_bound`.
+    """
+    c = np.asarray(c, dtype=float)
+    n = c.shape[0]
+    lbs = np.array([b[0] for b in bounds], dtype=float)
+    ubs = np.array([b[1] for b in bounds], dtype=float)
+    if not np.all(np.isfinite(lbs)):
+        # the x = lb + y shift needs a finite anchor; -inf would poison
+        # every constraint row with NaN
+        raise SolverError("every variable needs a finite lower bound")
+    if np.any(lbs > ubs + 1e-12):
+        raise InfeasibleError("contradictory bounds")
+    a_ub: List[np.ndarray] = []
+    b_ub: List[float] = []
+    a_eq: List[np.ndarray] = []
+    b_eq: List[float] = []
+
+    def row(coeffs) -> np.ndarray:
+        r = np.zeros(n)
+        for idx, coef in coeffs.items():
+            r[idx] = coef
+        return r
+
+    for coeffs, sense, rhs in rows:
+        r = row(coeffs)
+        shift = float(r @ lbs)
+        if sense == "<=":
+            a_ub.append(r)
+            b_ub.append(rhs - shift)
+        elif sense == ">=":
+            a_ub.append(-r)
+            b_ub.append(shift - rhs)
+        elif sense == "==":
+            a_eq.append(r)
+            b_eq.append(rhs - shift)
+        else:
+            raise SolverError(f"unknown sense {sense!r}")
+    # upper bounds on the shifted variables
+    for i in range(n):
+        ub = ubs[i] - lbs[i]
+        if math.isfinite(ub):
+            r = np.zeros(n)
+            r[i] = 1.0
+            a_ub.append(r)
+            b_ub.append(ub)
+    res = solve_lp(
+        c,
+        a_ub=a_ub if a_ub else None,
+        b_ub=b_ub if b_ub else None,
+        a_eq=a_eq if a_eq else None,
+        b_eq=b_eq if b_eq else None,
+        max_iterations=max_iterations,
+    )
+    x = res.x + lbs
+    return LpResult(x, float(c @ x), res.iterations)
 
 
 def solve_lp(

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import InfeasibleError, SolverError, SolverLimitError, UnboundedError
-from repro.solvers.linprog import solve_lp
+from repro.solvers.linprog import solve_bounded_lp
 
 _INT_TOL = 1e-6
 
@@ -97,70 +97,16 @@ class MilpModel:
 
     # -- solving ------------------------------------------------------------
 
-    def _lp_data(
-        self,
-        extra_bounds: Dict[int, Tuple[float, float]],
-    ):
-        """Build standard-form arrays with shifted variables x = lb + y."""
-        n = len(self.vars)
-        lbs = np.array(
-            [extra_bounds.get(v.index, (v.lb, v.ub))[0] for v in self.vars]
-        )
-        ubs = np.array(
-            [extra_bounds.get(v.index, (v.lb, v.ub))[1] for v in self.vars]
-        )
-        if np.any(lbs > ubs + 1e-12):
-            raise InfeasibleError("contradictory bounds")
-        c = np.zeros(n)
-        for idx, coef in self.objective.items():
-            c[idx] = coef
-        a_ub: List[np.ndarray] = []
-        b_ub: List[float] = []
-        a_eq: List[np.ndarray] = []
-        b_eq: List[float] = []
-
-        def row(coeffs: Dict[int, float]) -> np.ndarray:
-            r = np.zeros(n)
-            for idx, coef in coeffs.items():
-                r[idx] = coef
-            return r
-
-        for coeffs, sense, rhs in self.constraints:
-            r = row(coeffs)
-            shift = float(r @ lbs)
-            if sense == "<=":
-                a_ub.append(r)
-                b_ub.append(rhs - shift)
-            elif sense == ">=":
-                a_ub.append(-r)
-                b_ub.append(shift - rhs)
-            else:
-                a_eq.append(r)
-                b_eq.append(rhs - shift)
-        # upper bounds on shifted vars
-        for v in self.vars:
-            ub = ubs[v.index] - lbs[v.index]
-            if math.isfinite(ub):
-                r = np.zeros(n)
-                r[v.index] = 1.0
-                a_ub.append(r)
-                b_ub.append(ub)
-        return c, a_ub, b_ub, a_eq, b_eq, lbs
-
     def _solve_relaxation(
         self, extra_bounds: Dict[int, Tuple[float, float]]
     ) -> Tuple[np.ndarray, float]:
-        c, a_ub, b_ub, a_eq, b_eq, lbs = self._lp_data(extra_bounds)
-        res = solve_lp(
-            c,
-            a_ub=a_ub if a_ub else None,
-            b_ub=b_ub if b_ub else None,
-            a_eq=a_eq if a_eq else None,
-            b_eq=b_eq if b_eq else None,
-        )
-        x = res.x + lbs
-        obj = float(sum(self.objective.get(i, 0.0) * x[i] for i in range(len(x))))
-        return x, obj
+        n = len(self.vars)
+        c = np.zeros(n)
+        for idx, coef in self.objective.items():
+            c[idx] = coef
+        bounds = [extra_bounds.get(v.index, (v.lb, v.ub)) for v in self.vars]
+        res = solve_bounded_lp(c, bounds, self.constraints)
+        return res.x, res.objective
 
     def solve(self, node_limit: int = 20_000) -> MilpSolution:
         """Branch and bound; raises on infeasibility, limit or unboundedness."""
@@ -230,3 +176,38 @@ class MilpModel:
             nodes_explored=nodes,
             optimal=nodes <= node_limit,
         )
+
+
+# ---------------------------------------------------------------------------
+# solver-model IR backend
+# ---------------------------------------------------------------------------
+
+#: IR features this backend can lower (see repro.solvers.model)
+IR_FEATURES = frozenset({"continuous", "unbounded"})
+
+
+def solve_model(model, node_limit: int = 20_000):
+    """Lower a :class:`repro.solvers.model.SolverModel` and solve it.
+
+    Variables and constraints are lowered in declaration order, so a
+    model built in the same order as a hand-written :class:`MilpModel`
+    solves bit-identically.  Returns ``(values, objective, optimal)``.
+    """
+    mm = MilpModel()
+    for v in model.vars:
+        mm.add_var(v.lb, v.ub, integer=v.integer, name=v.name)
+    for kind, payload in model.constraints:
+        if kind != "linear":
+            raise SolverError(
+                f"MILP backend cannot lower {kind!r} constraints"
+            )
+        coeffs, sense, rhs = payload
+        if sense == "!=":
+            raise SolverError("MILP backend cannot lower '!=' constraints")
+        mm.add_constraint(dict(coeffs), sense, rhs)
+    if model.maximizing:
+        mm.maximize(dict(model.objective))
+    else:
+        mm.minimize(dict(model.objective))
+    sol = mm.solve(node_limit=node_limit)
+    return sol.values, sol.objective, sol.optimal

@@ -1,0 +1,203 @@
+"""Unified declarative solver-model IR: one model, several backends.
+
+The phase-assignment ILP (§II-B) and the T1 input-staggering CP model
+(§II-C) used to hand-encode their constraint systems against
+:class:`~repro.solvers.milp.MilpModel` and
+:class:`~repro.solvers.cpsat.CpModel` separately.  :class:`SolverModel`
+is the shared intermediate representation both build instead:
+
+* integer/continuous variables with interval bounds;
+* linear constraints over <=, >=, ==, != ;
+* ``AllDifferent`` (eq. 5 of the paper);
+* one linear objective (minimised or maximised).
+
+Backends declare what they can lower through their ``IR_FEATURES``
+capability sets and the model reports what it needs through
+:meth:`SolverModel.features_required`; ``solve(backend="auto")`` routes
+on that — models with ``AllDifferent``/``!=`` go to the CP solver,
+everything else to branch-and-bound MILP.  Lowering preserves variable
+and constraint declaration order, so an IR model solves bit-identically
+to the hand-encoded model it replaced (pinned in the tests).
+
+:meth:`lp_bound` exposes the LP relaxation of the linear part (dropping
+integrality, ``AllDifferent`` and ``!=``) as a cheap dual bound via the
+shared standard-form builder in :mod:`repro.solvers.linprog`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelVar:
+    """One IR variable (interval domain, optional integrality)."""
+
+    index: int
+    lb: float
+    ub: float
+    integer: bool
+    name: str
+
+
+@dataclasses.dataclass
+class ModelSolution:
+    """A solved model: values by variable index plus the objective."""
+
+    values: Dict[int, float]
+    objective: float
+    backend: str
+    optimal: bool = True
+
+    def value(self, var: "ModelVar | int") -> float:
+        idx = var.index if isinstance(var, ModelVar) else var
+        return self.values[idx]
+
+    def int_value(self, var: "ModelVar | int") -> int:
+        return int(round(self.value(var)))
+
+
+#: constraint payloads: ("linear", (coeffs, sense, rhs)) | ("alldiff", [idx])
+Constraint = Tuple[str, object]
+
+
+class SolverModel:
+    """Build once, solve on whichever backend supports the model."""
+
+    def __init__(self) -> None:
+        self.vars: List[ModelVar] = []
+        self.constraints: List[Constraint] = []
+        self.objective: Dict[int, float] = {}
+        self.maximizing = False
+
+    # -- construction -------------------------------------------------------
+
+    def add_var(
+        self,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        integer: bool = True,
+        name: str = "",
+    ) -> ModelVar:
+        if lb > ub:
+            raise SolverError(f"variable {name!r}: lb {lb} > ub {ub}")
+        v = ModelVar(
+            len(self.vars), lb, ub, integer, name or f"v{len(self.vars)}"
+        )
+        self.vars.append(v)
+        return v
+
+    @staticmethod
+    def _keyify(coeffs: Dict) -> Dict[int, float]:
+        out: Dict[int, float] = {}
+        for k, c in coeffs.items():
+            idx = k.index if isinstance(k, ModelVar) else int(k)
+            out[idx] = out.get(idx, 0.0) + float(c)
+        return out
+
+    def add_linear(self, coeffs: Dict, sense: str, rhs: float) -> None:
+        if sense not in ("<=", ">=", "==", "!="):
+            raise SolverError(f"unknown sense {sense!r}")
+        self.constraints.append(
+            ("linear", (self._keyify(coeffs), sense, float(rhs)))
+        )
+
+    # MilpModel-compatible spelling
+    add_constraint = add_linear
+
+    def add_all_different(self, variables: Sequence["ModelVar | int"]) -> None:
+        idxs = [
+            v.index if isinstance(v, ModelVar) else int(v) for v in variables
+        ]
+        self.constraints.append(("alldiff", idxs))
+
+    def minimize(self, coeffs: Dict) -> None:
+        self.objective = self._keyify(coeffs)
+        self.maximizing = False
+
+    def maximize(self, coeffs: Dict) -> None:
+        self.objective = self._keyify(coeffs)
+        self.maximizing = True
+
+    # -- capability routing --------------------------------------------------
+
+    def features_required(self) -> FrozenSet[str]:
+        """IR features a backend must support to lower this model."""
+        feats = set()
+        for kind, payload in self.constraints:
+            if kind == "alldiff":
+                feats.add("all_different")
+            elif payload[1] == "!=":  # type: ignore[index]
+                feats.add("not_equal")
+        for v in self.vars:
+            if not v.integer:
+                feats.add("continuous")
+            if not (math.isfinite(v.lb) and math.isfinite(v.ub)):
+                feats.add("unbounded")
+        return frozenset(feats)
+
+    def pick_backend(self) -> str:
+        """Routing policy: CP for AllDifferent/!= models, MILP otherwise."""
+        from repro.solvers import cpsat, milp
+
+        feats = self.features_required()
+        if feats <= milp.IR_FEATURES:
+            return "milp"
+        if feats <= cpsat.IR_FEATURES:
+            return "cp"
+        raise SolverError(
+            f"no backend supports features {sorted(feats)} "
+            f"(milp: {sorted(milp.IR_FEATURES)}, cp: {sorted(cpsat.IR_FEATURES)})"
+        )
+
+    # -- solving ------------------------------------------------------------
+
+    def solve(
+        self,
+        backend: str = "auto",
+        node_limit: Optional[int] = None,
+    ) -> ModelSolution:
+        """Solve on *backend* ("auto" | "milp" | "cp")."""
+        from repro.solvers import cpsat, milp
+
+        if backend == "auto":
+            backend = self.pick_backend()
+        if backend == "milp":
+            values, objective, optimal = milp.solve_model(
+                self, **({} if node_limit is None else {"node_limit": node_limit})
+            )
+        elif backend == "cp":
+            values, objective, optimal = cpsat.solve_model(
+                self, **({} if node_limit is None else {"node_limit": node_limit})
+            )
+        else:
+            raise SolverError(f"unknown backend {backend!r}")
+        return ModelSolution(values, objective, backend, optimal)
+
+    def lp_bound(self) -> float:
+        """Objective of the LP relaxation of the linear part.
+
+        Integrality, ``AllDifferent`` and ``!=`` rows are dropped, so for
+        minimisation this is a valid lower bound (upper for
+        maximisation).
+        """
+        from repro.solvers.linprog import solve_bounded_lp
+
+        n = len(self.vars)
+        c = np.zeros(n)
+        sign = -1.0 if self.maximizing else 1.0
+        for idx, coef in self.objective.items():
+            c[idx] = sign * coef
+        rows = [
+            payload
+            for kind, payload in self.constraints
+            if kind == "linear" and payload[1] != "!="  # type: ignore[index]
+        ]
+        res = solve_bounded_lp(c, [(v.lb, v.ub) for v in self.vars], rows)
+        return sign * res.objective

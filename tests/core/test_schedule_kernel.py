@@ -1,0 +1,305 @@
+"""Differential tests for the incremental schedule kernel (StageSchedule).
+
+The kernel's contract: delta-evaluated move pricing and the maintained
+running total must equal a from-scratch recomputation after *any* move
+sequence, the live PO boundary must never go stale, and the kernel-based
+heuristic must reproduce the seed scan-and-rebuild sweeps bit for bit
+from ASAP starts (pinned against the retained reference implementation).
+"""
+
+import random
+
+import pytest
+
+from repro.core.dff_insertion import insert_dffs
+from repro.core.phase_assignment import (
+    _net_cost,
+    assign_stages_heuristic,
+    assign_stages_ilp,
+    assign_stages_rescan_reference,
+    assign_stages,
+)
+from repro.core.schedule import StageSchedule
+from repro.network.gates import Gate
+from repro.sfq.multiphase import edge_dffs
+from repro.sfq.netlist import OUT, SFQNetlist
+
+
+def random_netlist(seed, n_phases, n_pi=4, n_gates=12, n_t1=2, n_po=3):
+    """A random mapped netlist (gates + optional T1 blocks + POs)."""
+    rng = random.Random(seed)
+    nl = SFQNetlist(f"rand{seed}", n_phases=n_phases)
+    sigs = [(nl.add_pi(), OUT) for _ in range(n_pi)]
+    for _ in range(n_gates):
+        fins = [rng.choice(sigs) for _ in range(rng.choice([1, 2, 2, 3]))]
+        sigs.append((nl.add_gate(Gate.AND, fins), OUT))
+    if n_phases >= 3:
+        for _ in range(n_t1):
+            a, b, c = (rng.choice(sigs) for _ in range(3))
+            t = nl.add_t1(a, b, c)
+            for port in ("S", "C", "Q"):
+                if rng.random() < 0.7:
+                    sigs.append((t, port))
+    for _ in range(n_po):
+        nl.add_po(rng.choice(sigs))
+    return nl
+
+
+def mapped_registry_netlist(name):
+    """Run the standard pipeline up to (excluding) phase assignment."""
+    from repro.circuits import build
+    from repro.pipeline import Pipeline
+    from repro.pipeline.context import FlowContext
+
+    pipe = Pipeline.standard(n_phases=4, use_t1=True, verify="none")
+    ctx = FlowContext(source=build(name, "ci"), name=name, verify="none")
+    for p in pipe.passes:
+        if p.name == "phase_assign":
+            break
+        ctx = p.run(ctx) or ctx
+    return ctx.netlist
+
+
+class TestDeltaEquivalence:
+    """Delta evaluation == from-scratch recomputation, always."""
+
+    @pytest.mark.parametrize("n_phases", [1, 2, 3, 4])
+    def test_random_move_sequences(self, n_phases):
+        nl = random_netlist(7 + n_phases, n_phases)
+        k = StageSchedule(nl)
+        st = nl.structure()
+        movable = [i for i in range(len(nl.cells)) if st.clocked[i]]
+        rng = random.Random(99)
+        for _ in range(300):
+            x = rng.choice(movable)
+            s = max(1, k.stages[x] + rng.randint(-3, 3))
+            predicted = k.cost_if_moved(x, s)
+            k.apply_move(x, s)
+            assert k.total() == predicted
+            assert k.total() == k.recompute_total()
+        k.check_invariants()
+
+    def test_registry_circuit_move_sequence(self):
+        nl = mapped_registry_netlist("c6288")
+        k = StageSchedule(nl)
+        st = nl.structure()
+        movable = [i for i in range(len(nl.cells)) if st.clocked[i]]
+        rng = random.Random(3)
+        for i in range(400):
+            x = rng.choice(movable)
+            s = max(1, k.stages[x] + rng.randint(-2, 4))
+            predicted = k.cost_if_moved(x, s)
+            k.apply_move(x, s)
+            assert k.total() == predicted
+        k.check_invariants()
+
+    def test_peek_does_not_mutate(self):
+        nl = random_netlist(1, 4)
+        k = StageSchedule(nl)
+        before = (list(k.stages), k.state(), k.boundary())
+        st = nl.structure()
+        for x in range(len(nl.cells)):
+            if st.clocked[x]:
+                k.cost_if_moved(x, k.stages[x] + 2)
+        assert (list(k.stages), k.state(), k.boundary()) == before
+
+    def test_asap_start_total_matches_recompute(self):
+        for name in ("adder", "voter", "multiplier"):
+            nl = mapped_registry_netlist(name)
+            k = StageSchedule(nl)
+            assert k.total() == k.recompute_total()
+            k.check_invariants()
+
+
+class TestLiveBoundary:
+    """The PO boundary is maintained across moves, never per sweep."""
+
+    def chain_with_dangler(self):
+        # p -> g1 -> g2 -> g3 -> g4 (PO), plus h(g2) driving only a PO
+        nl = SFQNetlist("bnd", n_phases=2)
+        p = (nl.add_pi(), OUT)
+        cur = p
+        mids = []
+        for _ in range(4):
+            cur = (nl.add_gate(Gate.AND, [cur]), OUT)
+            mids.append(cur)
+        nl.add_po(cur)
+        h = (nl.add_gate(Gate.AND, [mids[1]]), OUT)
+        nl.add_po(h)
+        return nl, cur[0], h[0]
+
+    def test_boundary_tracks_max_stage(self):
+        nl, g4, h = self.chain_with_dangler()
+        k = StageSchedule(nl)
+        assert k.boundary() == 5  # deepest cell g4 at stage 4
+        k.apply_move(g4, 6)
+        assert k.boundary() == 7
+        k.check_invariants()
+        k.apply_move(g4, 4)
+        assert k.boundary() == 5
+        k.check_invariants()
+
+    def test_stale_boundary_mispriced_move(self):
+        """Regression: the seed priced PO balancing against a boundary
+        snapshotted at sweep start.  After a mid-sweep move deepens the
+        schedule (boundary 5 -> 7), the snapshot still prices the
+        dangler's PO chain at zero DFFs, while the true cost against the
+        live boundary is one chain DFF — the kernel's delta and running
+        total both account for it."""
+        nl, g4, h = self.chain_with_dangler()
+        k = StageSchedule(nl)
+        stale_boundary = k.boundary()
+        assert stale_boundary == 5
+        assert k.stages[h] == 3  # ASAP: fed by g2 at stage 2
+        before = k.total()
+        # deepening g4 to 6 costs: +1 on the g3->g4 chain, +1 on h's PO
+        # chain (live boundary 7) — the stale snapshot sees only the first
+        assert k.cost_if_moved(g4, 6) - before == 2.0
+        k.apply_move(g4, 6)
+        assert k.boundary() == 7
+        assert k.total() == k.recompute_total() == before + 2.0
+        # the seed's pricing of h's PO net with the stale snapshot calls
+        # the dangler's position free (boundary gap 2, n=2 -> 0 DFFs) ...
+        assert _net_cost(k.stages[h], [], 2, stale_boundary) == 0.0
+        # ... but against the live boundary it costs one chain DFF
+        assert _net_cost(k.stages[h], [], 2, k.boundary()) == 1.0
+
+    def test_heuristic_final_boundary_consistent(self):
+        nl = mapped_registry_netlist("square")
+        assign_stages_heuristic(nl)
+        stages = [c.stage for c in nl.cells if c.clocked]
+        k = StageSchedule(nl, stages=[c.stage for c in nl.cells])
+        assert k.boundary() == max(stages) + 1
+
+
+class TestHeuristicEquivalence:
+    """Kernel-based sweeps == the seed scan-and-rebuild reference."""
+
+    @pytest.mark.parametrize("name", ["adder", "c6288", "voter", "square"])
+    def test_registry_stage_vectors_identical(self, name):
+        nl_kernel = mapped_registry_netlist(name)
+        nl_ref = mapped_registry_netlist(name)
+        assign_stages_heuristic(nl_kernel)
+        assign_stages_rescan_reference(nl_ref)
+        got = [c.stage for c in nl_kernel.cells]
+        want = [c.stage for c in nl_ref.cells]
+        assert got == want
+
+    @pytest.mark.parametrize("n_phases", [1, 2, 3, 4])
+    def test_random_netlists_identical(self, n_phases):
+        for seed in range(12):
+            nl_kernel = random_netlist(seed, n_phases)
+            nl_ref = random_netlist(seed, n_phases)
+            assign_stages_heuristic(nl_kernel, sweeps=5)
+            assign_stages_rescan_reference(nl_ref, sweeps=5)
+            assert [c.stage for c in nl_kernel.cells] == (
+                [c.stage for c in nl_ref.cells]
+            ), f"divergence at seed {seed}"
+
+    def test_reports_agree_on_applied_moves(self):
+        nl_kernel = mapped_registry_netlist("c7552")
+        nl_ref = mapped_registry_netlist("c7552")
+        rk = assign_stages_heuristic(nl_kernel)
+        rr = assign_stages_rescan_reference(nl_ref)
+        assert rk.moves_applied == rr.moves_applied
+        assert rk.sweeps_run == rr.sweeps_run
+        assert rk.moves_evaluated > 0
+
+
+class TestHeuristicQuality:
+    """Final cost <= ASAP cost; exact ILP stays the proxy lower bound."""
+
+    @staticmethod
+    def _proxy_objective(nl):
+        total = 0
+        for cell in nl.cells:
+            if not cell.clocked:
+                continue
+            for sig in cell.fanins:
+                total += edge_dffs(
+                    cell.stage - nl.cells[sig[0]].stage, nl.n_phases
+                )
+        return total
+
+    @pytest.mark.parametrize("n_phases", [1, 2, 3, 4])
+    def test_heuristic_not_worse_than_asap(self, n_phases):
+        for seed in range(8):
+            nl = random_netlist(100 + seed, n_phases)
+            asap_cost = StageSchedule(nl).total()
+            assign_stages_heuristic(nl)
+            final = StageSchedule(
+                nl, stages=[c.stage for c in nl.cells]
+            ).total()
+            assert final <= asap_cost
+
+    @pytest.mark.parametrize("n_phases", [1, 2, 3, 4])
+    def test_ilp_proxy_bounds_heuristic(self, n_phases):
+        for seed in range(6):
+            t1 = 1 if (n_phases >= 3 and seed % 2 == 0) else 0
+            nl_h = random_netlist(
+                seed, n_phases, n_pi=3, n_gates=6, n_t1=t1, n_po=2
+            )
+            nl_i = random_netlist(
+                seed, n_phases, n_pi=3, n_gates=6, n_t1=t1, n_po=2
+            )
+            assign_stages_heuristic(nl_h, free_pi_phases=False)
+            assign_stages_ilp(nl_i)
+            assert self._proxy_objective(nl_i) <= self._proxy_objective(nl_h)
+
+    @pytest.mark.parametrize("n_phases", [1, 2, 3, 4])
+    def test_heuristic_matches_ilp_on_chains(self, n_phases):
+        def chain(n):
+            nl = SFQNetlist("chain", n_phases=n)
+            cur = (nl.add_pi(), OUT)
+            for _ in range(5):
+                cur = (nl.add_gate(Gate.AND, [cur]), OUT)
+            nl.add_po(cur)
+            return nl
+
+        nl_h, nl_i = chain(n_phases), chain(n_phases)
+        assign_stages_heuristic(nl_h, free_pi_phases=False)
+        assign_stages_ilp(nl_i)
+        assert insert_dffs(nl_h).total == insert_dffs(nl_i).total
+
+
+class TestAutoMethod:
+    def test_auto_small_uses_ilp(self):
+        a = random_netlist(5, 2, n_pi=3, n_gates=6, n_t1=0, n_po=2)
+        b = random_netlist(5, 2, n_pi=3, n_gates=6, n_t1=0, n_po=2)
+        assign_stages(a, method="auto")
+        assign_stages_ilp(b)
+        assert [c.stage for c in a.cells] == [c.stage for c in b.cells]
+
+    def test_auto_large_uses_heuristic(self):
+        a = mapped_registry_netlist("sin")
+        b = mapped_registry_netlist("sin")
+        assign_stages(a, method="auto", sweeps=4, free_pi_phases=True)
+        assign_stages_heuristic(b, sweeps=4, free_pi_phases=True)
+        assert [c.stage for c in a.cells] == [c.stage for c in b.cells]
+
+    def test_unknown_method_raises(self):
+        from repro.errors import SolverError
+
+        nl = random_netlist(1, 2)
+        with pytest.raises(SolverError):
+            assign_stages(nl, method="simulated-annealing")
+
+
+class TestT1CostCacheScoping:
+    def test_kernel_memo_is_per_instance(self):
+        nl = random_netlist(11, 4)
+        k1 = StageSchedule(nl)
+        assert k1._t1_memo  # populated during construction
+        k2 = StageSchedule(nl)
+        assert k1._t1_memo is not k2._t1_memo
+
+    def test_module_cache_is_bounded_and_clearable(self):
+        from repro.core import phase_assignment as pa
+
+        assert (
+            pa._t1_cost_cached.cache_info().maxsize == pa.T1_COST_CACHE_SIZE
+        )
+        pa.t1_stagger_cost(5, [1, 2, 3], 4)
+        assert pa._t1_cost_cached.cache_info().currsize > 0
+        pa.clear_t1_cost_cache()
+        assert pa._t1_cost_cached.cache_info().currsize == 0

@@ -1,0 +1,65 @@
+"""Pinned Pipeline.standard() metrics over the full circuit registry.
+
+These values were produced by the PR 3 flow and re-verified bit-identical
+after the PR 4 scheduling-kernel refactor: the delta-evaluated heuristic
+reproduces the seed scan-and-rebuild sweeps exactly on every registered
+circuit at both presets.  Any intentional scheduling change must update
+these numbers (and should only ever lower the DFF counts).
+"""
+
+import pytest
+
+from repro.circuits import build
+from repro.circuits.registry import TABLE1_ORDER
+from repro.pipeline import Pipeline
+
+#: (gates, t1, dffs, splitters, area_jj, depth_cycles) per circuit
+PINNED_CI = {
+    "adder": (2, 15, 83, 2, 960, 5),
+    "c7552": (118, 9, 31, 123, 2379, 3),
+    "c6288": (65, 22, 28, 88, 1754, 4),
+    "sin": (657, 14, 91, 664, 10000, 11),
+    "voter": (33, 92, 56, 23, 3415, 8),
+    "square": (98, 34, 80, 142, 2918, 6),
+    "multiplier": (111, 46, 58, 158, 3309, 6),
+    "log2": (375, 68, 205, 442, 8728, 22),
+}
+
+PINNED_PAPER = {
+    "adder": (2, 127, 6047, 2, 39992, 33),
+    "c7552": (444, 45, 754, 483, 13337, 9),
+    "c6288": (407, 220, 313, 628, 14308, 10),
+    "sin": (5418, 47, 634, 5452, 79663, 33),
+    "voter": (55, 990, 640, 41, 33244, 13),
+    "square": (1692, 1076, 3156, 2816, 75811, 25),
+    "multiplier": (3026, 2201, 3761, 5228, 132722, 26),
+    "log2": (2379, 752, 1921, 3182, 69441, 77),
+}
+
+
+def as_tuple(metrics):
+    d = metrics.as_dict()
+    return (
+        d["gates"], d["t1"], d["dffs"], d["splitters"],
+        d["area_jj"], d["depth_cycles"],
+    )
+
+
+class TestPinnedRegistryMetrics:
+    def test_registry_is_fully_pinned(self):
+        assert set(PINNED_CI) == set(TABLE1_ORDER)
+        assert set(PINNED_PAPER) == set(TABLE1_ORDER)
+
+    @pytest.mark.parametrize("name", TABLE1_ORDER)
+    def test_ci_preset(self, name):
+        ctx = Pipeline.standard(n_phases=4, use_t1=True, verify="none").run(
+            build(name, "ci")
+        )
+        assert as_tuple(ctx.metrics) == PINNED_CI[name]
+
+    @pytest.mark.parametrize("name", TABLE1_ORDER)
+    def test_paper_preset(self, name):
+        ctx = Pipeline.standard(n_phases=4, use_t1=True, verify="none").run(
+            build(name, "paper")
+        )
+        assert as_tuple(ctx.metrics) == PINNED_PAPER[name]
