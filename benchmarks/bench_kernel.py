@@ -37,6 +37,7 @@ import time
 from pathlib import Path
 
 from repro.circuits.registry import TABLE1_ORDER, build
+from repro.io.json_report import dump_json_report
 from repro.errors import NetworkError
 from repro.network import LogicNetwork, enumerate_cuts, refactor, balance
 from repro.pipeline import Pipeline
@@ -225,7 +226,7 @@ def main(argv=None) -> int:
         "invariant_failures": failures,
     }
 
-    Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
+    dump_json_report(args.out, report)
     print(f"wrote {args.out}")
     sub = report["substitute"]
     print(

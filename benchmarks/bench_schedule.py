@@ -47,6 +47,7 @@ from repro.core.phase_assignment import (
 )
 from repro.core.schedule import StageSchedule
 from repro.errors import TimingError
+from repro.io.json_report import dump_json_report
 from repro.pipeline import Pipeline
 from repro.pipeline.context import FlowContext
 
@@ -209,7 +210,7 @@ def main(argv=None) -> int:
         "invariant_failures": failures,
     }
 
-    Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
+    dump_json_report(args.out, report)
     print(f"wrote {args.out}")
     for name, entry in report["heuristic"].items():
         print(

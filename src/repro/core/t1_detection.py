@@ -25,13 +25,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.network.cuts import CutDatabase, enumerate_cuts
+from repro.network.cuts import CutDatabase, cached_cut_database
 from repro.network.gates import Gate, is_t1_tap
 from repro.network.logic_network import LogicNetwork
 from repro.network.mffc import MffcComputer
 from repro.network.nodemap import NodeMap
 from repro.sfq.cell_library import CellLibrary, default_library
-from repro.core.t1_matching import OutputMatch, match_t1_output, polarity_bits
+from repro.core.t1_matching import OutputMatch, polarity_bits, t1_match_table
 
 
 @dataclass
@@ -106,12 +106,141 @@ def find_candidates(
     max_outputs: int = 5,
     cut_db: Optional[CutDatabase] = None,
 ) -> List[T1Candidate]:
-    """All positive-gain candidate groups (the paper's "found" set)."""
+    """All positive-gain candidate groups (the paper's "found" set).
+
+    When *cut_db* is omitted the enumeration is shared through
+    :func:`~repro.network.cuts.cached_cut_database`: repeated detection
+    over the same (unmutated) network reuses one database.
+    """
     library = library or default_library()
     if cut_db is None:
-        cut_db = enumerate_cuts(net, k=3, cuts_per_node=cuts_per_node)
+        cut_db = cached_cut_database(net, k=3, cuts_per_node=cuts_per_node)
 
-    # group (node, table) by leaf triple
+    # group matchable (node, matches) rows by leaf triple.  The complete
+    # inverse table maps a cut function to every (polarity, output) match
+    # in one lookup, so unmatchable cuts cost one dict miss and the
+    # 8-polarity probe loop of the seed is gone.  Parallel arrays avoid
+    # rebuilding a dict-of-lists per group.
+    match_table = t1_match_table()
+    group_of: Dict[Tuple[int, int, int], int] = {}
+    group_leaves: List[Tuple[int, int, int]] = []
+    # per group, per member: (node, ((polarity, match), ...))
+    group_members: List[List[Tuple[int, Tuple[Tuple[int, OutputMatch], ...]]]] = []
+    gates = net.gates
+    for node in net.nodes():
+        g = gates[node]
+        if g in (Gate.CONST0, Gate.CONST1, Gate.PI):
+            continue
+        if g is Gate.T1_CELL or is_t1_tap(g):
+            continue
+        # kernel-enumerated databases hold distinct leaf tuples per node,
+        # but hand-built ones may not — a node must join a group once
+        seen_leaves: Set[Tuple[int, ...]] = set()
+        for cut in cut_db[node]:
+            leaves = cut.leaves
+            if len(leaves) != 3 or node in leaves:
+                continue
+            if leaves in seen_leaves:
+                continue
+            seen_leaves.add(leaves)
+            pms = match_table.get(cut.table.bits)
+            if pms is None:
+                continue
+            gi = group_of.get(leaves)
+            if gi is None:
+                gi = len(group_leaves)
+                group_of[leaves] = gi
+                group_leaves.append(leaves)
+                group_members.append([])
+            group_members[gi].append((node, pms))
+
+    # one MFFC engine and one area memo serve every group (the network
+    # is frozen during detection, so per-node areas never change)
+    mffc = MffcComputer(net)
+    area_memo: Dict[int, int] = {}
+
+    def area_of(x: int) -> int:
+        a = area_memo.get(x)
+        if a is None:
+            a = node_area(net, x, library)
+            area_memo[x] = a
+        return a
+
+    candidates: List[T1Candidate] = []
+    for gi, leaves in enumerate(group_leaves):
+        members = group_members[gi]
+        # bucket the precomputed matches by polarity (member order is
+        # node order, as in the seed's per-polarity scan)
+        per_polarity: List[List[Tuple[int, OutputMatch]]] = [
+            [] for _ in range(8)
+        ]
+        for node, pms in members:
+            for polarity, m in pms:
+                per_polarity[polarity].append((node, m))
+        best: Optional[T1Candidate] = None
+        indiv_area: Dict[int, int] = {}
+        cone_memo: Dict[Tuple[int, ...], Tuple[Set[int], int]] = {}
+        for polarity in range(8):
+            matched = per_polarity[polarity]
+            if len(matched) < min_outputs:
+                continue
+            if len(matched) > max_outputs:
+                # keep the most valuable roots (largest individual MFFC)
+                for node, _m in matched:
+                    if node not in indiv_area:
+                        indiv_area[node] = sum(
+                            area_of(x) for x in mffc.mffc(node, leaves)
+                        )
+                matched = sorted(matched, key=lambda nm: -indiv_area[nm[0]])
+                matched = matched[:max_outputs]
+            roots = tuple(n for n, _m in matched)
+            cached = cone_memo.get(roots)
+            if cached is None:
+                cone = mffc.mffc_union(roots, boundary=leaves)
+                saved = sum(area_of(x) for x in cone)
+                cone_memo[roots] = (cone, saved)
+            else:
+                cone, saved = cached
+            cost = _t1_area(polarity, matched, library)
+            gain = saved - cost
+            if gain <= 0:
+                continue
+            if best is None or gain > best.gain:
+                best = T1Candidate(
+                    leaves=leaves,
+                    polarity=polarity,
+                    matches=tuple(matched),
+                    cone=cone,
+                    gain=gain,
+                )
+        if best is not None:
+            candidates.append(best)
+    candidates.sort(key=lambda c: (-c.gain, c.leaves))
+    return candidates
+
+
+def find_candidates_reference(
+    net: LogicNetwork,
+    library: Optional[CellLibrary] = None,
+    cuts_per_node: int = 8,
+    min_outputs: int = 2,
+    max_outputs: int = 5,
+    cut_db: Optional[CutDatabase] = None,
+) -> List[T1Candidate]:
+    """The seed candidate search — retained as the differential oracle.
+
+    Rebuilds a dict-of-lists per group, probes all eight polarities per
+    node through :func:`match_t1_output` and recomputes MFFC areas from
+    scratch; results are bit-identical to :func:`find_candidates`.
+    """
+    from repro.core.t1_matching import match_t1_output
+    from repro.network.cuts import enumerate_cuts_reference
+    from repro.network.truth_table import TruthTable
+
+    library = library or default_library()
+    if cut_db is None:
+        cut_db = enumerate_cuts_reference(net, k=3, cuts_per_node=cuts_per_node)
+
     groups: Dict[Tuple[int, int, int], List[Tuple[int, int]]] = {}
     for node in net.nodes():
         if not net.is_logic(node):
@@ -129,7 +258,6 @@ def find_candidates(
     mffc = MffcComputer(net)
     candidates: List[T1Candidate] = []
     for leaves, members in groups.items():
-        # dedupe nodes (a node may reach the same leaves through two cuts)
         seen_nodes: Set[int] = set()
         uniq: List[Tuple[int, int]] = []
         for node, bits in members:
@@ -139,21 +267,17 @@ def find_candidates(
         best: Optional[T1Candidate] = None
         for polarity in range(8):
             matched: List[Tuple[int, OutputMatch]] = []
-            used_ports: Set[Tuple[str, bool]] = set()
             for node, bits in uniq:
-                from repro.network.truth_table import TruthTable
-
                 m = match_t1_output(TruthTable(bits, 3), polarity)
                 if m is not None:
                     matched.append((node, m))
-                    used_ports.add((m.port, m.negated))
             if len(matched) < min_outputs:
                 continue
             if len(matched) > max_outputs:
-                # keep the most valuable roots (largest individual MFFC)
                 matched.sort(
                     key=lambda nm: -sum(
-                        node_area(net, x, library) for x in mffc.mffc(nm[0], leaves)
+                        node_area(net, x, library)
+                        for x in mffc.mffc(nm[0], leaves)
                     )
                 )
                 matched = matched[:max_outputs]
@@ -185,19 +309,23 @@ def select_candidates(candidates: Sequence[T1Candidate]) -> List[T1Candidate]:
     A candidate is applied when (a) no node of its cone was claimed by an
     earlier (higher-gain) candidate and (b) none of its leaves is an
     *interior* node of an earlier cone (roots are fine — they get taps).
+
+    The claimed / removed-interior state is maintained incrementally
+    across the scan and probed with early-exit disjointness tests — no
+    per-candidate rescan of previously applied cones, no intermediate
+    intersection sets.
     """
     claimed: Set[int] = set()
     removed_interior: Set[int] = set()
     out: List[T1Candidate] = []
     for cand in candidates:
-        if cand.cone & claimed:
+        if not claimed.isdisjoint(cand.cone):
             continue
-        if any(leaf in removed_interior for leaf in cand.leaves):
+        if not removed_interior.isdisjoint(cand.leaves):
             continue
         out.append(cand)
-        claimed |= cand.cone
-        roots = set(cand.roots)
-        removed_interior |= cand.cone - roots
+        claimed.update(cand.cone)
+        removed_interior.update(cand.cone.difference(cand.roots))
     return out
 
 

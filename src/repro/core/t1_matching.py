@@ -75,6 +75,43 @@ def _tables_for_polarity(polarity: int) -> Dict[int, OutputMatch]:
     return out
 
 
+@lru_cache(maxsize=None)
+def t1_match_table() -> Dict[int, Tuple[Tuple[int, OutputMatch], ...]]:
+    """The complete inverse matching table: tt bits -> ((polarity, match), ...).
+
+    Covers every 3-input function that is *any* T1 output under *any*
+    input polarity (the union of the five outputs' orbits under input
+    negation — 40 distinct functions).  One dict lookup replaces the
+    8-polarity probe loop; functions absent from the table are not
+    T1-implementable.  Entries are ordered by ascending polarity, so
+    iterating an entry reproduces the seed's polarity scan order.
+    """
+    out: Dict[int, List[Tuple[int, OutputMatch]]] = {}
+    for polarity in range(8):
+        for bits, match in _tables_for_polarity(polarity).items():
+            out.setdefault(bits, []).append((polarity, match))
+    return {bits: tuple(pms) for bits, pms in out.items()}
+
+
+def t1_npn_classes() -> Dict[str, Tuple[int, frozenset]]:
+    """NPN class of each T1 output: port/polarity name -> (canon bits, members).
+
+    The member sets are read off the precomputed k=3 NPN table
+    (:func:`repro.network.npn.npn_class_members`); they bound what the
+    polarity search can ever reach — every matchable function in
+    :func:`t1_match_table` lies in one of these classes.
+    """
+    from repro.network.npn import npn_canon, npn_class_members
+
+    out: Dict[str, Tuple[int, frozenset]] = {}
+    base = {"S": xor3_tt(), "C": maj3_tt(), "Q": or3_tt()}
+    for port, negated, _tap in T1_OUTPUTS:
+        tt = ~base[port] if negated else base[port]
+        name = port + ("*" if negated else "")
+        out[name] = (npn_canon(tt)[0].bits, npn_class_members(tt))
+    return out
+
+
 def match_t1_output(
     table: TruthTable, polarity: int
 ) -> Optional[OutputMatch]:
@@ -86,12 +123,9 @@ def match_t1_output(
 
 def polarities_matching(table: TruthTable) -> List[Tuple[int, OutputMatch]]:
     """All (polarity, match) pairs under which *table* is T1-implementable."""
-    out = []
-    for polarity in range(8):
-        m = match_t1_output(table, polarity)
-        if m is not None:
-            out.append((polarity, m))
-    return out
+    if table.num_vars != 3:
+        return []
+    return list(t1_match_table().get(table.bits, ()))
 
 
 def is_t1_implementable(table: TruthTable) -> bool:

@@ -1,6 +1,12 @@
-"""Netlist I/O: BLIF, ISCAS .bench, Graphviz DOT."""
+"""Netlist I/O: BLIF, ISCAS .bench, Graphviz DOT — plus strict-JSON reports."""
 
 from repro.io.bench import dumps_bench, loads_bench, read_bench, write_bench
+from repro.io.json_report import (
+    dump_json_report,
+    dumps_json_report,
+    sanitize_report,
+    strict_loads,
+)
 from repro.io.blif import dumps_blif, loads_blif, read_blif, write_blif
 from repro.io.dot import (
     dumps_netlist_dot,
@@ -16,7 +22,11 @@ from repro.io.verilog import (
 )
 
 __all__ = [
+    "dump_json_report",
     "dumps_bench",
+    "dumps_json_report",
+    "sanitize_report",
+    "strict_loads",
     "dumps_blif",
     "dumps_netlist_dot",
     "dumps_network_dot",

@@ -1,0 +1,81 @@
+"""Strict-JSON report serialization for the benchmark writers.
+
+Python's ``json`` module emits ``Infinity`` / ``-Infinity`` / ``NaN`` by
+default — tokens the JSON grammar does not contain, which
+``json.loads`` only accepts by accident and strict parsers (and most
+non-Python consumers) reject.  ``BENCH_*.json`` reports must stay
+consumable by anything, so every writer routes through
+:func:`dump_json_report`:
+
+* non-finite floats become ``null``;
+* a dict entry ``"cost": inf`` additionally gains a sibling
+  ``"cost_finite": false`` flag, so consumers can distinguish "absent"
+  from "infinite" without sniffing;
+* the final ``json.dumps`` runs with ``allow_nan=False`` — if a
+  non-finite value ever slips past the sanitizer, writing fails loudly
+  instead of producing a non-standard file.
+
+:func:`strict_loads` is the matching reader: it rejects the non-standard
+tokens instead of silently accepting them (the round-trip contract the
+test-suite pins for every committed ``BENCH_*.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Union
+
+FINITE_FLAG_SUFFIX = "_finite"
+
+
+def _is_nonfinite(value: Any) -> bool:
+    return isinstance(value, float) and not math.isfinite(value)
+
+
+def sanitize_report(obj: Any) -> Any:
+    """Recursively replace non-finite floats with ``None`` (+ flags).
+
+    Inside dicts, a non-finite value under ``key`` is emitted as
+    ``key: None`` plus ``key + "_finite": False`` (inserted right after
+    the key, preserving the surrounding order).  Inside lists only the
+    value itself is replaced.  Everything else passes through unchanged.
+    """
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if _is_nonfinite(value):
+                out[key] = None
+                flag = str(key) + FINITE_FLAG_SUFFIX
+                if flag not in obj:
+                    out[flag] = False
+            else:
+                out[key] = sanitize_report(value)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [
+            None if _is_nonfinite(v) else sanitize_report(v) for v in obj
+        ]
+    return obj
+
+
+def dumps_json_report(obj: Any, indent: int = 1) -> str:
+    """Sanitize and serialize a report; guaranteed strict JSON."""
+    return json.dumps(sanitize_report(obj), indent=indent, allow_nan=False) + "\n"
+
+
+def dump_json_report(
+    path: Union[str, Path], obj: Any, indent: int = 1
+) -> None:
+    """Write a benchmark report as strict JSON."""
+    Path(path).write_text(dumps_json_report(obj, indent=indent))
+
+
+def _reject_constant(token: str) -> Any:
+    raise ValueError(f"non-standard JSON token {token!r}")
+
+
+def strict_loads(text: str) -> Any:
+    """``json.loads`` that rejects ``Infinity`` / ``-Infinity`` / ``NaN``."""
+    return json.loads(text, parse_constant=_reject_constant)

@@ -29,6 +29,7 @@ from repro.network.traversal import (
 from repro.network.simulation import (
     eval_int,
     exhaustive_pi_patterns,
+    exhaustive_pi_patterns_chunk,
     node_function_on_leaves,
     random_patterns,
     simulate,
@@ -36,9 +37,23 @@ from repro.network.simulation import (
     simulate_pos,
     simulate_words,
 )
-from repro.network.cuts import Cut, CutDatabase, enumerate_cuts
+from repro.network.cuts import (
+    Cut,
+    CutDatabase,
+    cached_cut_database,
+    enumerate_cuts,
+    enumerate_cuts_reference,
+)
 from repro.network.mffc import MffcComputer, mffc
-from repro.network.npn import NpnTransform, match_against, npn_canon, npn_equivalent
+from repro.network.npn import (
+    NpnTransform,
+    match_against,
+    match_against_enum,
+    npn_canon,
+    npn_canon_enum,
+    npn_class_members,
+    npn_equivalent,
+)
 from repro.network.balance import balance
 from repro.network.cleanup import strash, sweep
 from repro.network.isop import Cube, cover_table, isop, isop_interval, synthesize_sop
@@ -49,6 +64,7 @@ from repro.network.equivalence import (
     check_equivalence,
     exhaustive_equivalence,
     sat_equivalence,
+    signature_equivalence,
     simulate_equivalence,
 )
 
@@ -82,8 +98,11 @@ __all__ = [
     "eval_gate",
     "eval_int",
     "fold_gate",
+    "cached_cut_database",
+    "enumerate_cuts_reference",
     "exhaustive_equivalence",
     "exhaustive_pi_patterns",
+    "exhaustive_pi_patterns_chunk",
     "is_t1_tap",
     "levels",
     "live_nodes",
@@ -95,7 +114,11 @@ __all__ = [
     "npn_equivalent",
     "or3_tt",
     "random_patterns",
+    "match_against_enum",
+    "npn_canon_enum",
+    "npn_class_members",
     "sat_equivalence",
+    "signature_equivalence",
     "simulate",
     "simulate_equivalence",
     "simulate_exhaustive",

@@ -6,16 +6,30 @@ with at most *k* leaves, filtering dominated cuts, and pruning to the
 ``cuts_per_node`` best (smaller first) to bound the blow-up.
 
 Each cut carries the truth table of the node over the cut leaves — this is
-what Boolean matching consumes.  Since the function of a node over a fixed
-leaf set is unique, tables are computed once per distinct leaf set (the
-merge loop only manipulates leaf tuples, which keeps pure-Python
-enumeration fast enough for 20k-node networks).
+what Boolean matching consumes.  The enumeration kernel is
+*allocation-light*: the merge/dominance loop manipulates only raw leaf
+tuples and table ints, and a :class:`Cut` (with its frozen
+:class:`~repro.network.truth_table.TruthTable`) is only constructed for
+the cuts that survive pruning.  The leaf-set work (merge + dominance) is
+memoised per fanin tuple — it never depends on the gate, so e.g. the
+XOR/AND node pairs of half-adders share one pass — and table composition
+runs on ints through a memoised row-remap (:func:`_remap_bits`).
+
+Whole databases are cached per network mutation epoch by
+:func:`cached_cut_database`, so the T1 detection pass and any later
+re-detection / rewriting pass over the same (unmutated) network share one
+enumeration.
+
+The seed per-candidate implementation is retained as
+:func:`enumerate_cuts_reference` — the differential oracle for the kernel
+(and the baseline the mapping benchmarks measure against).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import NetworkError
@@ -68,20 +82,74 @@ class Cut:
 
 
 class CutDatabase:
-    """Cut sets for every node of a network."""
+    """Cut sets for every node of a network.
 
-    def __init__(self, cuts: List[List[Cut]], k: int):
+    ``epoch`` records the network mutation epoch the cuts were enumerated
+    at (``-1`` for hand-built databases); :func:`cached_cut_database`
+    uses it to decide reuse.
+    """
+
+    def __init__(self, cuts: List[List[Cut]], k: int, epoch: int = -1):
         self.cuts = cuts
         self.k = k
+        self.epoch = epoch
+        # lazy per-node {leaf tuple -> Cut} indices (satellite of the
+        # mapping kernel: cut_with_leaves was an O(cuts) scan)
+        self._leaf_index: Dict[int, Dict[Tuple[int, ...], Cut]] = {}
 
     def __getitem__(self, node: int) -> List[Cut]:
         return self.cuts[node]
 
     def cut_with_leaves(self, node: int, leaves: Tuple[int, ...]) -> Optional[Cut]:
-        for c in self.cuts[node]:
-            if c.leaves == leaves:
-                return c
-        return None
+        """The cut of *node* with exactly these leaves, if enumerated.
+
+        O(1) after the first lookup on a node (a per-node dict keyed by
+        leaf tuple is built lazily and reused)."""
+        index = self._leaf_index.get(node)
+        if index is None:
+            index = {c.leaves: c for c in self.cuts[node]}
+            self._leaf_index[node] = index
+        return index.get(leaves)
+
+
+@lru_cache(maxsize=1 << 16)
+def _remap_bits(bits: int, positions: Tuple[int, ...], k: int) -> int:
+    """Raw-int :meth:`TruthTable.remap`: re-express over ``k`` variables.
+
+    Old variable ``i`` becomes new variable ``positions[i]``.  The domain
+    is tiny for the k<=3 mapping front-end (bits < 256, a handful of
+    position tuples), so the cache turns almost every composition into a
+    dict hit.
+    """
+    out = 0
+    for row in range(1 << k):
+        src = 0
+        for i, p in enumerate(positions):
+            if (row >> p) & 1:
+                src |= 1 << i
+        if (bits >> src) & 1:
+            out |= 1 << row
+    return out
+
+
+def _compose_bits(
+    gate: Gate,
+    fanin_cuts: Sequence[Tuple[Tuple[int, ...], int]],
+    leaves: Tuple[int, ...],
+) -> int:
+    """Table (as an int) of ``gate`` over *leaves* from raw fanin cuts.
+
+    ``fanin_cuts`` holds one ``(leaves, table bits)`` pair per fanin; all
+    fanin leaf sets must be subsets of *leaves*.
+    """
+    k = len(leaves)
+    index = leaves.index
+    mask = (1 << (1 << k)) - 1
+    fanin_tts = [
+        _remap_bits(bits, tuple(map(index, cut_leaves)), k)
+        for cut_leaves, bits in fanin_cuts
+    ]
+    return eval_gate(gate, fanin_tts, mask) & mask
 
 
 def _compose_table(
@@ -90,7 +158,11 @@ def _compose_table(
     fanin_cuts: Sequence[Cut],
     leaves: Tuple[int, ...],
 ) -> TruthTable:
-    """Truth table of ``gate`` over *leaves* from its fanins' cut tables."""
+    """Truth table of ``gate`` over *leaves* from its fanins' cut tables.
+
+    The seed composition through :class:`TruthTable` methods — used by
+    :func:`enumerate_cuts_reference` so the oracle exercises none of the
+    kernel's int fast paths."""
     k = len(leaves)
     pos = {leaf: i for i, leaf in enumerate(leaves)}
     mask = (1 << (1 << k)) - 1
@@ -99,6 +171,69 @@ def _compose_table(
         positions = [pos[leaf] for leaf in cut.leaves]
         fanin_tts.append(cut.table.remap(positions, k).bits)
     return TruthTable(eval_gate(gate, fanin_tts, mask) & mask, k)
+
+
+def _merge_leaf_sets(
+    fanin_fset_lists: Sequence[Sequence[frozenset]],
+    fanin_sig_lists: Sequence[Sequence[int]],
+    k: int,
+) -> Dict[frozenset, Tuple[int, ...]]:
+    """Distinct feasible merged leaf sets -> first producing combo.
+
+    Infeasible pairs are rejected by the 64-bit leaf signatures first:
+    every leaf sets one bit, so ``popcount(sig_a | sig_b) > k`` proves
+    ``|A ∪ B| > k`` with two int ops (collisions only under-count).
+    Only the survivors build a real set union (C-speed frozenset ``|``);
+    sorting into tuples is deferred to the distinct survivors.  The combo
+    is recorded as one cut index per fanin (the composition step needs,
+    for every fanin, *some* cut whose leaves are a subset of the merged
+    set; the node function over a fixed leaf set is unique, so which
+    combo wins does not matter for the table).
+    """
+    chosen: Dict[frozenset, Tuple[Tuple[int, ...], int]] = {}
+    if len(fanin_fset_lists) == 2:
+        # the dominant shape after decomposition: a hand-rolled double
+        # loop avoids fold bookkeeping
+        pairs_a = list(zip(fanin_fset_lists[0], fanin_sig_lists[0]))
+        pairs_b = list(zip(fanin_fset_lists[1], fanin_sig_lists[1]))
+        for ia, (fa, sa) in enumerate(pairs_a):
+            for ib, (fb, sb) in enumerate(pairs_b):
+                sig = sa | sb
+                if sig.bit_count() > k:
+                    continue
+                merged = fa | fb
+                if len(merged) > k or merged in chosen:
+                    continue
+                chosen[merged] = ((ia, ib), sig)
+        return chosen
+    # wider gates: fold the fanin lists pairwise, pruning and deduping
+    # the intermediate unions.  Unions are associative and monotone in
+    # size, so dropping an infeasible or duplicate prefix never loses a
+    # feasible final leaf set — this turns the full cut-set product
+    # (|cuts|^arity combos) into |intermediates| * |cuts| work per level.
+    acc: List[Tuple[frozenset, int, Tuple[int, ...]]] = [
+        (fs, fanin_sig_lists[0][i], (i,))
+        for i, fs in enumerate(fanin_fset_lists[0])
+    ]
+    for fi in range(1, len(fanin_fset_lists)):
+        lst = fanin_fset_lists[fi]
+        sgs = fanin_sig_lists[fi]
+        seen: Dict[frozenset, None] = {}
+        nxt: List[Tuple[frozenset, int, Tuple[int, ...]]] = []
+        for fa, sa, combo in acc:
+            for ib, fb in enumerate(lst):
+                sig = sa | sgs[ib]
+                if sig.bit_count() > k:
+                    continue
+                merged = fa | fb
+                if len(merged) > k or merged in seen:
+                    continue
+                seen[merged] = None
+                nxt.append((merged, sig, combo + (ib,)))
+        acc = nxt
+    for merged, sig, combo in acc:
+        chosen[merged] = (combo, sig)
+    return chosen
 
 
 def enumerate_cuts(
@@ -120,6 +255,131 @@ def enumerate_cuts(
 
     T1 blocks: the cell and its taps get only trivial cuts (they are
     already mapped; re-matching inside them is pointless).
+
+    Produces cut sets bit-identical to
+    :func:`enumerate_cuts_reference` while allocating ``Cut`` /
+    ``TruthTable`` objects only for the survivors.
+    """
+    if k < 1:
+        raise NetworkError("cut size k must be >= 1")
+    if order is None:
+        order = topological_order(net)
+    n = net.num_nodes()
+    db: List[List[Cut]] = [[] for _ in range(n)]
+    # parallel raw views of db, avoiding attribute chasing in the merge
+    leaves_of: List[List[Tuple[int, ...]]] = [[] for _ in range(n)]
+    fsets_of: List[List[frozenset]] = [[] for _ in range(n)]
+    sigs_of: List[List[int]] = [[] for _ in range(n)]
+    bits_of: List[List[int]] = [[] for _ in range(n)]
+    gates = net.gates
+    fanins = net.fanins
+    tt_var0 = TruthTable.var(0, 1)
+    # (chosen, kept) per fanin tuple — the leaf-set work is gate-blind
+    merge_memo: Dict[Tuple[int, ...], Tuple[Dict, List]] = {}
+
+    for node in order:
+        g = gates[node]
+        if g in (Gate.CONST0, Gate.CONST1):
+            const_tt = TruthTable.const(g is Gate.CONST1, 0)
+            db[node] = [Cut((), const_tt)]
+            leaves_of[node] = [()]
+            fsets_of[node] = [frozenset()]
+            sigs_of[node] = [0]
+            bits_of[node] = [const_tt.bits]
+            continue
+        if g is Gate.PI or g is Gate.T1_CELL or is_t1_tap(g):
+            db[node] = [Cut((node,), tt_var0)]
+            leaves_of[node] = [(node,)]
+            fsets_of[node] = [frozenset((node,))]
+            sigs_of[node] = [1 << (node & 63)]
+            bits_of[node] = [tt_var0.bits]
+            continue
+
+        fins = fanins[node]
+
+        # steps 1+2 depend only on the fanin tuple (never on the gate),
+        # so nodes sharing fanins — e.g. the XOR/AND pairs of every
+        # half-adder — share one merge + dominance pass via the memo
+        merged_entry = merge_memo.get(fins)
+        if merged_entry is None:
+            # 1) enumerate distinct feasible leaf sets (signature
+            #    prefilter + C-speed set unions)
+            chosen = _merge_leaf_sets(
+                [fsets_of[f] for f in fins], [sigs_of[f] for f in fins], k
+            )
+
+            # 2) dominance filter: the 64-bit leaf signatures prove most
+            #    non-subset pairs in two int ops; only signature hits pay
+            #    for the exact set comparison
+            keys = sorted(
+                ((tuple(sorted(fs)), fs) for fs in chosen),
+                key=lambda kf: (len(kf[0]), kf[0]),
+            )
+            kept: List[Tuple[Tuple[int, ...], frozenset, int]] = []
+            for key, fs in keys:
+                sig = chosen[fs][1]
+                dominated = False
+                for _prev_key, prev_set, prev_sig in kept:
+                    if prev_sig & ~sig:
+                        continue
+                    if prev_set <= fs:
+                        dominated = True
+                        break
+                if dominated:
+                    continue
+                kept.append((key, fs, sig))
+            kept = kept[:cuts_per_node]
+            merged_entry = (chosen, kept)
+            merge_memo[fins] = merged_entry
+        else:
+            chosen, kept = merged_entry
+
+        # 3) compose tables once per surviving leaf set, ints end to end;
+        #    Cut/TruthTable objects exist only for survivors
+        node_cuts: List[Cut] = []
+        node_leaves: List[Tuple[int, ...]] = []
+        node_fsets: List[frozenset] = []
+        node_sigs: List[int] = []
+        node_bits: List[int] = []
+        for key, fs, sig in kept:
+            combo = chosen[fs][0]
+            raw = [
+                (leaves_of[f][ci], bits_of[f][ci])
+                for f, ci in zip(fins, combo)
+            ]
+            bits = _compose_bits(g, raw, key)
+            node_cuts.append(Cut(key, TruthTable(bits, len(key)), sig))
+            node_leaves.append(key)
+            node_fsets.append(fs)
+            node_sigs.append(sig)
+            node_bits.append(bits)
+        if include_trivial:
+            node_cuts.append(Cut((node,), tt_var0))
+            node_leaves.append((node,))
+            node_fsets.append(frozenset((node,)))
+            node_sigs.append(1 << (node & 63))
+            node_bits.append(tt_var0.bits)
+        db[node] = node_cuts
+        leaves_of[node] = node_leaves
+        fsets_of[node] = node_fsets
+        sigs_of[node] = node_sigs
+        bits_of[node] = node_bits
+
+    return CutDatabase(db, k, epoch=net.epoch)
+
+
+def enumerate_cuts_reference(
+    net: LogicNetwork,
+    k: int = 3,
+    cuts_per_node: int = 8,
+    include_trivial: bool = True,
+    order: Optional[Sequence[int]] = None,
+) -> CutDatabase:
+    """The seed per-candidate enumeration — the kernel's differential oracle.
+
+    Allocates a frozen dataclass pair per candidate and composes tables
+    through :class:`TruthTable` methods; results are bit-identical to
+    :func:`enumerate_cuts`.
     """
     if k < 1:
         raise NetworkError("cut size k must be >= 1")
@@ -143,7 +403,6 @@ def enumerate_cuts(
         fins = fanins[node]
         fanin_cut_sets = [db[f] for f in fins]
 
-        # 1) enumerate distinct feasible leaf sets (cheap tuple-set work)
         chosen: Dict[Tuple[int, ...], Tuple[Cut, ...]] = {}
         for combo in itertools.product(*fanin_cut_sets):
             leaves_set = set()
@@ -159,9 +418,6 @@ def enumerate_cuts(
             if key not in chosen:
                 chosen[key] = combo
 
-        # 2) dominance filter: the 64-bit leaf signatures prove most
-        #    non-subset pairs in two int ops; only signature hits pay for
-        #    the exact set comparison
         keys = sorted(chosen.keys(), key=lambda t: (len(t), t))
         kept: List[Tuple[Tuple[int, ...], set, int]] = []
         for key in keys:
@@ -181,7 +437,6 @@ def enumerate_cuts(
             kept.append((key, set(key), sig))
         kept = kept[:cuts_per_node]
 
-        # 3) compose tables once per surviving leaf set
         result = [
             Cut(key, _compose_table(net, g, chosen[key], key), sig)
             for key, _ks, sig in kept
@@ -190,4 +445,36 @@ def enumerate_cuts(
             result.append(Cut((node,), tt_var0))
         db[node] = result
 
-    return CutDatabase(db, k)
+    return CutDatabase(db, k, epoch=net.epoch)
+
+
+def cached_cut_database(
+    net: LogicNetwork,
+    k: int = 3,
+    cuts_per_node: int = 8,
+    include_trivial: bool = True,
+) -> CutDatabase:
+    """Enumerate cuts once per ``(network epoch, parameters)``.
+
+    The database is cached on the network object and reused while
+    ``net.epoch`` is unchanged; any structural mutation (``substitute``,
+    ``replace_fanin``, ``compact``, ``add_gate``, ...) bumps the epoch
+    and invalidates it on the next call.  Treat the returned database as
+    immutable — it is shared between callers.
+
+    ``net.clone()`` does not carry the cache over (the clone starts
+    cold), so caches never alias across network copies.
+    """
+    cache: Optional[Dict] = getattr(net, "_cut_db_cache", None)
+    if cache is None:
+        cache = {}
+        net._cut_db_cache = cache  # type: ignore[attr-defined]
+    key = (k, cuts_per_node, include_trivial)
+    db = cache.get(key)
+    if db is not None and db.epoch == net.epoch:
+        return db
+    db = enumerate_cuts(
+        net, k=k, cuts_per_node=cuts_per_node, include_trivial=include_trivial
+    )
+    cache[key] = db
+    return db

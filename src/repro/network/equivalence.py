@@ -2,9 +2,23 @@
 
 Three engines, used in escalation order by :func:`check_equivalence`:
 
-1. exhaustive bit-parallel simulation when the PI count is small;
-2. random bit-parallel simulation (fast falsification witness);
-3. SAT on the XOR miter (complete; uses :mod:`repro.sat`).
+1. exhaustive bit-parallel simulation when the PI count is small —
+   *chunked* so the peak big-int width stays bounded and the first
+   differing chunk terminates the run early;
+2. random bit-parallel simulation (fast falsification witness).  The
+   driver runs it through :func:`signature_equivalence`: per-PO
+   *simulation signatures* are collected over a few wide rounds (the
+   same total stimulus bits as the seed's many narrow rounds, at a
+   fraction of the per-round traversal overhead, with the round width
+   capped so the per-network value arrays stay within a fixed memory
+   budget), and PO pairs are partitioned into distinguished pairs (a
+   witness — the whole check is settled, no SAT call at all) and
+   identical-signature pairs;
+3. SAT on the XOR miter (complete; uses :mod:`repro.sat`) — reached
+   only when *every* pair kept an identical signature.  For callers
+   that need to prove a chosen *subset* of PO pairs,
+   :func:`sat_equivalence` accepts ``pairs=...`` and restricts the
+   Tseitin encoding to those pairs' transitive fanin cones.
 
 The T1 flow uses CEC after every replacement pass: T1 taps evaluate their
 XOR3/MAJ3/OR3 semantics in simulation, and the CNF encoder expands them
@@ -25,6 +39,7 @@ from repro.errors import EquivalenceError, NetworkError
 from repro.network.logic_network import LogicNetwork
 from repro.network.simulation import (
     exhaustive_pi_patterns,
+    exhaustive_pi_patterns_chunk,
     random_patterns,
     simulate_pos,
 )
@@ -32,6 +47,18 @@ from repro.network.simulation import (
 EXHAUSTIVE_PI_LIMIT = 14
 DEFAULT_RANDOM_WIDTH = 4096
 DEFAULT_RANDOM_ROUNDS = 16
+#: the signature engine spends the same 64 Ki stimulus bits as the seed
+#: (16 rounds x 4096) in two wide rounds — ~8x fewer full-network
+#: traversals for identical falsification power
+DEFAULT_SIGNATURE_WIDTH = 32768
+DEFAULT_SIGNATURE_ROUNDS = 2
+#: per-network budget for the simulation value arrays (bits): the round
+#: width is halved until ``width * num_nodes`` fits, trading traversal
+#: count back for bounded peak memory on very large networks (the same
+#: concern EXHAUSTIVE_CHUNK_PIS bounds on the exhaustive path)
+SIGNATURE_WIDTH_BUDGET_BITS = 1 << 29
+#: peak exhaustive big-int width: 2**12 bits = 512 bytes per node value
+EXHAUSTIVE_CHUNK_PIS = 12
 
 
 @dataclass
@@ -74,7 +101,11 @@ def simulate_equivalence(
     rounds: int = DEFAULT_RANDOM_ROUNDS,
     seed: int = 2024,
 ) -> CecResult:
-    """Random-simulation CEC: complete only as a falsifier."""
+    """Random-simulation CEC: complete only as a falsifier.
+
+    The seed many-narrow-rounds engine, retained as the differential
+    baseline for :func:`signature_equivalence` (and for callers that
+    want the classic round structure)."""
     _check_interfaces(a, b)
     for r in range(rounds):
         vecs = random_patterns(len(a.pis), width, seed=seed + r)
@@ -88,40 +119,139 @@ def simulate_equivalence(
     return CecResult(True, "random")
 
 
-def exhaustive_equivalence(a: LogicNetwork, b: LogicNetwork) -> CecResult:
-    """Complete CEC by simulating all 2^k input patterns."""
+def signature_equivalence(
+    a: LogicNetwork,
+    b: LogicNetwork,
+    width: int = DEFAULT_SIGNATURE_WIDTH,
+    rounds: int = DEFAULT_SIGNATURE_ROUNDS,
+    seed: int = 2024,
+) -> Tuple[CecResult, List[int]]:
+    """Random CEC through per-PO simulation signatures.
+
+    Returns ``(result, undistinguished)`` where *undistinguished* lists
+    the PO indices whose signature stayed identical across every round —
+    the pairs a complete check still has to hand to the SAT miter.  On a
+    falsified run the first differing pair yields the counterexample and
+    the remaining pairs are not refined further.
+
+    The round width is halved (and the round count doubled, preserving
+    the total stimulus) until the per-network value arrays fit
+    :data:`SIGNATURE_WIDTH_BUDGET_BITS`, so very large networks trade
+    traversal savings back for a bounded peak footprint.
+    """
+    _check_interfaces(a, b)
+    num_nodes = max(a.num_nodes(), b.num_nodes(), 1)
+    while (
+        width > DEFAULT_RANDOM_WIDTH
+        and width * num_nodes > SIGNATURE_WIDTH_BUDGET_BITS
+    ):
+        width //= 2
+        rounds *= 2
+    for r in range(rounds):
+        vecs = random_patterns(len(a.pis), width, seed=seed + r)
+        pos_a = simulate_pos(a, vecs, width)
+        pos_b = simulate_pos(b, vecs, width)
+        for i, (va, vb) in enumerate(zip(pos_a, pos_b)):
+            diff = va ^ vb
+            if diff:
+                bit = (diff & -diff).bit_length() - 1
+                return (
+                    CecResult(False, "random", _extract_cex(a, vecs, bit)),
+                    [],
+                )
+    return CecResult(True, "random"), list(range(len(a.pos)))
+
+
+def exhaustive_equivalence(
+    a: LogicNetwork,
+    b: LogicNetwork,
+    chunk_pis: int = EXHAUSTIVE_CHUNK_PIS,
+) -> CecResult:
+    """Complete CEC by simulating all 2^k input patterns.
+
+    Patterns are simulated in ``2**chunk_pis``-wide chunks: the peak
+    big-int width is bounded regardless of the PI count, and the first
+    differing chunk short-circuits the remaining ones.
+    """
     _check_interfaces(a, b)
     k = len(a.pis)
     if k > EXHAUSTIVE_PI_LIMIT:
         raise NetworkError(f"{k} PIs too many for exhaustive CEC")
-    vecs = exhaustive_pi_patterns(k)
-    width = 1 << k
-    pos_a = simulate_pos(a, vecs, width)
-    pos_b = simulate_pos(b, vecs, width)
-    for va, vb in zip(pos_a, pos_b):
-        diff = va ^ vb
-        if diff:
-            bit = (diff & -diff).bit_length() - 1
-            return CecResult(False, "exhaustive", _extract_cex(a, vecs, bit))
+    if chunk_pis >= k:
+        num_chunks = 1
+    else:
+        num_chunks = 1 << (k - chunk_pis)
+    width = 1 << min(k, chunk_pis)
+    for chunk in range(num_chunks):
+        if num_chunks == 1:
+            vecs = exhaustive_pi_patterns(k)
+        else:
+            vecs = exhaustive_pi_patterns_chunk(k, chunk_pis, chunk)
+        pos_a = simulate_pos(a, vecs, width)
+        pos_b = simulate_pos(b, vecs, width)
+        for va, vb in zip(pos_a, pos_b):
+            diff = va ^ vb
+            if diff:
+                bit = (diff & -diff).bit_length() - 1
+                return CecResult(
+                    False, "exhaustive", _extract_cex(a, vecs, bit)
+                )
     return CecResult(True, "exhaustive")
 
 
 def sat_equivalence(
-    a: LogicNetwork, b: LogicNetwork, conflict_limit: int = 2_000_000
+    a: LogicNetwork,
+    b: LogicNetwork,
+    conflict_limit: int = 2_000_000,
+    pairs: Optional[Sequence[int]] = None,
 ) -> CecResult:
-    """Complete CEC via a SAT miter (pairwise PO XOR, ORed)."""
+    """Complete CEC via a SAT miter (pairwise PO XOR, ORed).
+
+    *pairs* restricts the miter to the given PO indices (the
+    identical-signature pairs the simulation rounds could not
+    distinguish); the encoding covers only the transitive fanin cones of
+    those POs.  ``None`` checks every pair.
+    """
+    from repro.network.traversal import transitive_fanin
     from repro.sat.cnf import CnfBuilder
     from repro.sat.solver import SatSolver, SatStatus
 
     _check_interfaces(a, b)
+    if pairs is None:
+        pair_list = list(range(len(a.pos)))
+    else:
+        pair_list = sorted(set(pairs))
+        for i in pair_list:
+            if not 0 <= i < len(a.pos):
+                raise NetworkError(f"PO index {i} out of range")
+    if not pair_list:
+        # no pairs to differ: vacuously equivalent (also covers
+        # zero-PO interfaces reaching the SAT stage)
+        return CecResult(True, "sat")
     builder = CnfBuilder()
     pi_vars = [builder.new_var() for _ in a.pis]
-    lits_a = builder.encode_network(a, pi_vars)
-    lits_b = builder.encode_network(b, pi_vars)
+    if pairs is None or len(pair_list) == len(a.pos):
+        sel_a = builder.encode_network(a, pi_vars)
+        sel_b = builder.encode_network(b, pi_vars)
+    else:
+        # restrict the encoding to the transitive fanin cones of the
+        # selected pairs (T1 taps pull in their cell's fanins, so the
+        # cone is fanin-closed for the encoder)
+        def cone_nodes(net: LogicNetwork, roots: List[int]) -> List[int]:
+            keep = transitive_fanin(net, roots)
+            return [n for n in net.topological_order() if n in keep]
+
+        roots_a = [a.pos[i] for i in pair_list]
+        roots_b = [b.pos[i] for i in pair_list]
+        lits_a = builder.encode_network(a, pi_vars, nodes=cone_nodes(a, roots_a))
+        lits_b = builder.encode_network(b, pi_vars, nodes=cone_nodes(b, roots_b))
+        sel_a = [lits_a[i] for i in pair_list]
+        sel_b = [lits_b[i] for i in pair_list]
     diffs = []
-    for la, lb in zip(lits_a, lits_b):
+    for la, lb in zip(sel_a, sel_b):
+        assert la is not None and lb is not None
         diffs.append(builder.add_xor2(la, lb))
-    builder.add_clause(diffs)  # some PO differs
+    builder.add_clause(diffs)  # some selected PO differs
     solver = SatSolver(builder.num_vars, builder.clauses)
     status = solver.solve(conflict_limit=conflict_limit)
     if status is SatStatus.UNSAT:
@@ -140,14 +270,15 @@ def check_equivalence(
     a: LogicNetwork,
     b: LogicNetwork,
     complete: bool = True,
-    random_width: int = DEFAULT_RANDOM_WIDTH,
-    random_rounds: int = DEFAULT_RANDOM_ROUNDS,
+    random_width: int = DEFAULT_SIGNATURE_WIDTH,
+    random_rounds: int = DEFAULT_SIGNATURE_ROUNDS,
 ) -> CecResult:
     """CEC with engine escalation.
 
-    * few PIs -> exhaustive (complete);
-    * otherwise random simulation first (cheap falsification), then — when
-      ``complete`` and the miter is small enough — SAT.
+    * few PIs -> chunked exhaustive (complete);
+    * otherwise the signature engine first (cheap falsification, wide
+      rounds); identical-signature PO pairs then go to the SAT miter —
+      but only when ``complete`` asks for a proof.
 
     For large networks with ``complete=True`` the SAT call may be slow;
     flows use ``complete=False`` plus heavy random simulation, and the
@@ -156,10 +287,12 @@ def check_equivalence(
     _check_interfaces(a, b)
     if len(a.pis) <= EXHAUSTIVE_PI_LIMIT:
         return exhaustive_equivalence(a, b)
-    res = simulate_equivalence(a, b, width=random_width, rounds=random_rounds)
+    res, undistinguished = signature_equivalence(
+        a, b, width=random_width, rounds=random_rounds
+    )
     if not res.equivalent or not complete:
         return res
-    return sat_equivalence(a, b)
+    return sat_equivalence(a, b, pairs=undistinguished)
 
 
 def assert_equivalent(a: LogicNetwork, b: LogicNetwork, **kwargs) -> None:

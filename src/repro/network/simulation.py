@@ -94,6 +94,36 @@ def exhaustive_pi_patterns(num_pis: int) -> List[int]:
     return out
 
 
+def exhaustive_pi_patterns_chunk(
+    num_pis: int, chunk_pis: int, chunk_index: int
+) -> List[int]:
+    """One chunk of the exhaustive stimulus: rows
+    ``[chunk_index * 2**chunk_pis, (chunk_index + 1) * 2**chunk_pis)``.
+
+    Splitting the ``2**num_pis`` exhaustive patterns into ``2**chunk_pis``
+    -wide chunks bounds the peak big-int width at ``2**chunk_pis`` bits:
+    within a chunk, PI ``i < chunk_pis`` carries its ordinary projection
+    word and PI ``i >= chunk_pis`` is constant (bit ``i`` of the chunk's
+    starting row).  Chunk 0 of a single-chunk split reproduces
+    :func:`exhaustive_pi_patterns` exactly.
+    """
+    if chunk_pis > num_pis:
+        chunk_pis = num_pis
+    num_chunks = 1 << (num_pis - chunk_pis)
+    if not 0 <= chunk_index < num_chunks:
+        raise SimulationError(
+            f"chunk {chunk_index} out of range for {num_chunks} chunks"
+        )
+    width = 1 << chunk_pis
+    mask = (1 << width) - 1
+    start = chunk_index << chunk_pis
+    low = exhaustive_pi_patterns(chunk_pis)
+    out = list(low)
+    for i in range(chunk_pis, num_pis):
+        out.append(mask if (start >> i) & 1 else 0)
+    return out
+
+
 def simulate_exhaustive(net: LogicNetwork) -> List[TruthTable]:
     """Truth table of every PO over all PIs (only for small PI counts)."""
     k = len(net.pis)

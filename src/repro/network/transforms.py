@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.network.cuts import enumerate_cuts
+from repro.network.cuts import cached_cut_database
 from repro.network.cleanup import strash
 from repro.network.gates import Gate, is_t1_tap
 from repro.network.isop import isop, synthesize_sop
@@ -129,8 +129,10 @@ def refactor(
     """
     work = net.clone()
     # all analysis (cuts, MFFC, costs) runs on the frozen original; the
-    # claimed-set keeps rewrites disjoint so the analysis stays valid
-    db = enumerate_cuts(net, k=cut_size, cuts_per_node=cuts_per_node)
+    # claimed-set keeps rewrites disjoint so the analysis stays valid,
+    # and the epoch-cached database is shared with any other pass that
+    # enumerated the same (unmutated) network
+    db = cached_cut_database(net, k=cut_size, cuts_per_node=cuts_per_node)
     mffc = MffcComputer(net)
     accepted = 0
     claimed: set = set()

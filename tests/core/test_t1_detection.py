@@ -165,3 +165,61 @@ class TestDetectAndReplace:
         res = detect_and_replace(strash(net)[0])
         assert res.used >= 4
         assert check_equivalence(net, res.network).equivalent
+
+
+class TestFindCandidatesDifferential:
+    """The kernel candidate search vs the retained seed reference."""
+
+    def snapshot(self, cands):
+        return [
+            (c.leaves, c.polarity, c.gain, c.matches, sorted(c.cone))
+            for c in cands
+        ]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_xor_maj_networks(self, seed):
+        import random
+
+        from repro.core.t1_detection import find_candidates_reference
+
+        rng = random.Random(seed)
+        net = LogicNetwork("rand")
+        pis = [net.add_pi(f"x{i}") for i in range(6)]
+        pool = list(pis)
+        for _ in range(40):
+            a, b, c = (rng.choice(pool) for _ in range(3))
+            kind = rng.randrange(4)
+            if kind == 0:
+                node = net.add_xor(a, b, c)
+            elif kind == 1:
+                node = net.add_maj3(a, b, c)
+            elif kind == 2:
+                node = net.add_or(a, b, c)
+            else:
+                node = net.add_and(a, rng.choice(pool))
+            pool.append(node)
+        for i in range(4):
+            net.add_po(rng.choice(pool[len(pis):]), f"y{i}")
+
+        kernel = find_candidates(net)
+        reference = find_candidates_reference(net)
+        assert self.snapshot(kernel) == self.snapshot(reference)
+
+    def test_adder_matches_reference(self):
+        from repro.core.t1_detection import find_candidates_reference
+
+        net = strash(ripple_carry_adder(6))[0]
+        kernel = find_candidates(net)
+        reference = find_candidates_reference(net)
+        assert self.snapshot(kernel) == self.snapshot(reference)
+
+    def test_detection_shares_epoch_cached_cuts(self):
+        from repro.network.cuts import cached_cut_database
+
+        net = strash(ripple_carry_adder(4))[0]
+        first = find_candidates(net)
+        db = cached_cut_database(net)
+        # unmutated network: the second search reuses the same database
+        assert cached_cut_database(net) is db
+        second = find_candidates(net)
+        assert self.snapshot(first) == self.snapshot(second)

@@ -1,0 +1,99 @@
+"""Strict-JSON contract for the benchmark report writers.
+
+``BENCH_*.json`` files are consumed by CI artifacts and external
+tooling; they must parse under a strict JSON reader (no ``Infinity`` /
+``NaN`` tokens, which Python's default ``json.dumps`` happily emits for
+non-finite floats).
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.io.json_report import (
+    dump_json_report,
+    dumps_json_report,
+    sanitize_report,
+    strict_loads,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+class TestSanitize:
+    def test_infinity_becomes_null_with_flag(self):
+        out = sanitize_report({"final_cost": float("inf"), "other": 1.5})
+        assert out == {"final_cost": None, "final_cost_finite": False,
+                       "other": 1.5}
+
+    def test_negative_infinity_and_nan(self):
+        out = sanitize_report({"a": float("-inf"), "b": float("nan")})
+        assert out["a"] is None and out["a_finite"] is False
+        assert out["b"] is None and out["b_finite"] is False
+
+    def test_nested_structures(self):
+        out = sanitize_report(
+            {"runs": [{"cost": float("inf")}, {"cost": 2.0}],
+             "trace": [1.0, float("inf"), 3.0]}
+        )
+        assert out["runs"][0] == {"cost": None, "cost_finite": False}
+        assert out["runs"][1] == {"cost": 2.0}
+        assert out["trace"] == [1.0, None, 3.0]
+
+    def test_existing_flag_not_clobbered(self):
+        out = sanitize_report({"cost": float("inf"), "cost_finite": True})
+        assert out["cost"] is None
+        # the explicit (if inconsistent) flag wins over the synthesized one
+        assert out["cost_finite"] is True
+
+    def test_finite_payload_unchanged(self):
+        payload = {"a": 1, "b": [1.5, "x", None], "c": {"d": True}}
+        assert sanitize_report(payload) == payload
+
+    def test_dumps_is_strict(self):
+        text = dumps_json_report({"cost": float("inf")})
+        assert "Infinity" not in text
+        strict_loads(text)
+
+    def test_strict_loads_rejects_infinity(self):
+        with pytest.raises(ValueError):
+            strict_loads('{"x": Infinity}')
+        with pytest.raises(ValueError):
+            strict_loads('{"x": NaN}')
+
+    def test_dump_roundtrip(self, tmp_path):
+        path = tmp_path / "report.json"
+        dump_json_report(path, {"score": float("-inf"), "n": 3})
+        data = strict_loads(path.read_text())
+        assert data == {"score": None, "score_finite": False, "n": 3}
+
+
+class TestCommittedReports:
+    @pytest.mark.parametrize(
+        "name", sorted(p.name for p in REPO_ROOT.glob("BENCH_*.json"))
+    )
+    def test_roundtrips_through_strict_parser(self, name):
+        text = (REPO_ROOT / name).read_text()
+        data = strict_loads(text)  # raises on Infinity / NaN tokens
+        # and a re-serialization stays strict
+        json.dumps(data, allow_nan=False)
+
+    def test_reports_exist(self):
+        names = {p.name for p in REPO_ROOT.glob("BENCH_*.json")}
+        assert {"BENCH_kernel.json", "BENCH_schedule.json",
+                "BENCH_mapping.json"} <= names
+
+    def test_no_nonfinite_floats_survive(self):
+        for path in REPO_ROOT.glob("BENCH_*.json"):
+            def walk(obj):
+                if isinstance(obj, dict):
+                    for v in obj.values():
+                        walk(v)
+                elif isinstance(obj, list):
+                    for v in obj:
+                        walk(v)
+                elif isinstance(obj, float):
+                    assert math.isfinite(obj), path
+            walk(json.loads(path.read_text()))

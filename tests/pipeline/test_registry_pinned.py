@@ -1,10 +1,13 @@
 """Pinned Pipeline.standard() metrics over the full circuit registry.
 
 These values were produced by the PR 3 flow and re-verified bit-identical
-after the PR 4 scheduling-kernel refactor: the delta-evaluated heuristic
-reproduces the seed scan-and-rebuild sweeps exactly on every registered
-circuit at both presets.  Any intentional scheduling change must update
-these numbers (and should only ever lower the DFF counts).
+after the PR 4 scheduling-kernel refactor and the PR 5 mapping-kernel
+refactor: the delta-evaluated heuristic reproduces the seed
+scan-and-rebuild sweeps, and the table-driven NPN matching /
+allocation-light cut enumeration / incremental candidate selection
+reproduce the seed mapping front-end exactly — on every registered
+circuit at both presets.  Any intentional scheduling or mapping change
+must update these numbers (and should only ever lower the DFF counts).
 """
 
 import pytest
@@ -36,6 +39,32 @@ PINNED_PAPER = {
     "log2": (2379, 752, 1921, 3182, 69441, 77),
 }
 
+#: the paper's Table I "found" / "used" columns per circuit (§II-A
+#: detection), pinned since PR 5 so mapping-layer refactors prove
+#: bit-identity of the whole candidate pipeline, not only the final
+#: netlist metrics
+FOUND_USED_CI = {
+    "adder": (15, 15),
+    "c7552": (9, 9),
+    "c6288": (22, 22),
+    "sin": (18, 14),
+    "voter": (92, 92),
+    "square": (34, 34),
+    "multiplier": (46, 46),
+    "log2": (68, 68),
+}
+
+FOUND_USED_PAPER = {
+    "adder": (127, 127),
+    "c7552": (45, 45),
+    "c6288": (220, 220),
+    "sin": (62, 47),
+    "voter": (990, 990),
+    "square": (1076, 1076),
+    "multiplier": (2201, 2201),
+    "log2": (752, 752),
+}
+
 
 def as_tuple(metrics):
     d = metrics.as_dict()
@@ -49,6 +78,8 @@ class TestPinnedRegistryMetrics:
     def test_registry_is_fully_pinned(self):
         assert set(PINNED_CI) == set(TABLE1_ORDER)
         assert set(PINNED_PAPER) == set(TABLE1_ORDER)
+        assert set(FOUND_USED_CI) == set(TABLE1_ORDER)
+        assert set(FOUND_USED_PAPER) == set(TABLE1_ORDER)
 
     @pytest.mark.parametrize("name", TABLE1_ORDER)
     def test_ci_preset(self, name):
@@ -56,6 +87,7 @@ class TestPinnedRegistryMetrics:
             build(name, "ci")
         )
         assert as_tuple(ctx.metrics) == PINNED_CI[name]
+        assert (ctx.t1_found, ctx.t1_used) == FOUND_USED_CI[name]
 
     @pytest.mark.parametrize("name", TABLE1_ORDER)
     def test_paper_preset(self, name):
@@ -63,3 +95,4 @@ class TestPinnedRegistryMetrics:
             build(name, "paper")
         )
         assert as_tuple(ctx.metrics) == PINNED_PAPER[name]
+        assert (ctx.t1_found, ctx.t1_used) == FOUND_USED_PAPER[name]

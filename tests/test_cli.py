@@ -113,3 +113,16 @@ def test_invalid_t1_phase_count_is_clean_error(capsys):
     err = capsys.readouterr().err
     assert err.startswith("error:")
     assert "n_phases >= 3" in err
+
+
+def test_run_timings_breakdown(capsys):
+    """--timings must print a per-pass wall-clock breakdown."""
+    assert main(["run", "adder", "--preset", "ci", "--t1", "--timings"]) == 0
+    out = capsys.readouterr().out
+    assert "per-pass timing:" in out
+    for pass_name in ("decompose", "t1_detect", "map", "phase_assign",
+                      "dff_insert", "verify_metrics"):
+        assert pass_name in out, pass_name
+    # every line of the breakdown carries a seconds figure
+    lines = [l for l in out.splitlines() if l.startswith("  ") and " s" in l]
+    assert len(lines) >= 6
