@@ -115,17 +115,44 @@ def bench_npn(failures):
     }
 
 
-def bench_cuts(circuits, preset, failures):
+def bench_cuts(circuits, preset, failures, repeats=3):
+    """Kernel vs seed cut enumeration, min-of-N with the collector paused.
+
+    Same measurement discipline as :func:`bench_segment` (symmetric for
+    both paths).  The PR 5 bench ran each path once with the collector
+    live, so whichever enumeration happened to run while earlier
+    circuits' large databases were still reachable got billed for the
+    collections — that asymmetry, not the kernel, was the "multiplier
+    regression" the PR 6 issue flagged.
+    """
+    import gc
+
     out = {}
     for name in circuits:
         net = decomposed_network(name, preset)
         net.topological_order()  # shared traversal out of the timed region
-        t0 = time.perf_counter()
-        db_kernel = enumerate_cuts(net, k=3, cuts_per_node=8)
-        t_kernel = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        db_ref = enumerate_cuts_reference(net, k=3, cuts_per_node=8)
-        t_ref = time.perf_counter() - t0
+
+        def timed(fn):
+            best = None
+            result = None
+            for _ in range(repeats):
+                gc.collect()
+                gc.disable()
+                try:
+                    t0 = time.perf_counter()
+                    result = fn()
+                    dt = time.perf_counter() - t0
+                finally:
+                    gc.enable()
+                best = dt if best is None else min(best, dt)
+            return result, best
+
+        db_kernel, t_kernel = timed(
+            lambda: enumerate_cuts(net, k=3, cuts_per_node=8)
+        )
+        db_ref, t_ref = timed(
+            lambda: enumerate_cuts_reference(net, k=3, cuts_per_node=8)
+        )
         for node in range(net.num_nodes()):
             got = [(c.leaves, c.table.bits, c.signature) for c in db_kernel[node]]
             want = [(c.leaves, c.table.bits, c.signature) for c in db_ref[node]]
@@ -264,10 +291,24 @@ def main(argv=None) -> int:
         "--out", default=str(REPO_ROOT / "BENCH_mapping.json"),
         help="output JSON path (default: BENCH_mapping.json at repo root)",
     )
+    parser.add_argument(
+        "--gate-cuts", action="store_true",
+        help="perf ratchet: fail if any cuts speedup_vs_seed drops "
+        "below 1.0 (the PR 6 regression gate)",
+    )
     args = parser.parse_args(argv)
 
     preset = "ci" if args.quick else "paper"
     failures: list = []
+    cuts = bench_cuts(SEGMENT_CIRCUITS, preset, failures)
+    if args.gate_cuts:
+        for name, entry in cuts.items():
+            speedup = entry["speedup_vs_seed"]
+            if speedup is not None and speedup < 1.0:
+                failures.append(
+                    f"cuts:{name}: kernel slower than seed reference "
+                    f"({speedup}x < 1.0)"
+                )
     report = {
         "meta": {
             "preset": preset,
@@ -276,7 +317,7 @@ def main(argv=None) -> int:
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         },
         "npn": bench_npn(failures),
-        "cuts": bench_cuts(SEGMENT_CIRCUITS, preset, failures),
+        "cuts": cuts,
         "t1_detect_cec_segment": bench_segment(SEGMENT_CIRCUITS, preset, failures),
         "cut_cache": bench_cut_cache(preset, failures),
         "invariants_ok": not failures,
@@ -290,6 +331,12 @@ def main(argv=None) -> int:
         f"npn canon: table {npn['table_seconds_per_call']:.2e}s vs enum "
         f"{npn['enum_seconds_per_call']:.2e}s ({npn['speedup']}x)"
     )
+    for name, entry in report["cuts"].items():
+        print(
+            f"cuts    {name:<11} kernel {entry['kernel_seconds']:.3f}s  "
+            f"seed {entry['seed_reference_seconds']:.3f}s  "
+            f"({entry['speedup_vs_seed']}x)"
+        )
     for name, entry in report["t1_detect_cec_segment"].items():
         print(
             f"segment {name:<11} kernel {entry['kernel_seconds']:.3f}s  "

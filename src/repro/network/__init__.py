@@ -22,6 +22,7 @@ from repro.network.traversal import (
     depth,
     levels,
     live_nodes,
+    structural_diff,
     topological_order,
     transitive_fanin,
     transitive_fanout,
@@ -43,6 +44,7 @@ from repro.network.cuts import (
     cached_cut_database,
     enumerate_cuts,
     enumerate_cuts_reference,
+    install_cut_database,
 )
 from repro.network.mffc import MffcComputer, mffc
 from repro.network.npn import (
@@ -56,8 +58,18 @@ from repro.network.npn import (
 )
 from repro.network.balance import balance
 from repro.network.cleanup import strash, sweep
-from repro.network.isop import Cube, cover_table, isop, isop_interval, synthesize_sop
-from repro.network.transforms import refactor, to_aig_form
+from repro.network.isop import (
+    Cube,
+    cached_sop,
+    clear_sop_cache,
+    cover_table,
+    isop,
+    isop_interval,
+    sop_cache_info,
+    sop_gate_count,
+    synthesize_sop,
+)
+from repro.network.transforms import refactor, refactor_reference, to_aig_form
 from repro.network.equivalence import (
     CecResult,
     assert_equivalent,
@@ -76,10 +88,17 @@ __all__ = [
     "Cube",
     "Cut",
     "balance",
+    "cached_sop",
+    "clear_sop_cache",
     "cover_table",
+    "install_cut_database",
     "isop",
     "isop_interval",
     "refactor",
+    "refactor_reference",
+    "sop_cache_info",
+    "sop_gate_count",
+    "structural_diff",
     "synthesize_sop",
     "to_aig_form",
     "CutDatabase",

@@ -8,17 +8,22 @@ with at most *k* leaves, filtering dominated cuts, and pruning to the
 Each cut carries the truth table of the node over the cut leaves — this is
 what Boolean matching consumes.  The enumeration kernel is
 *allocation-light*: the merge/dominance loop manipulates only raw leaf
-tuples and table ints, and a :class:`Cut` (with its frozen
+tuples and small int bitmasks, and a :class:`Cut` (with its frozen
 :class:`~repro.network.truth_table.TruthTable`) is only constructed for
-the cuts that survive pruning.  The leaf-set work (merge + dominance) is
-memoised per fanin tuple — it never depends on the gate, so e.g. the
-XOR/AND node pairs of half-adders share one pass — and table composition
-runs on ints through a memoised row-remap (:func:`_remap_bits`).
+the cuts that survive pruning.  Leaf sets are encoded as *exact dense
+masks over the node-local leaf universe* (the distinct leaves appearing
+in the fanin cut lists — a few dozen at most), so feasibility is one
+``bit_count`` and dominance one ``and``/``not`` per probe, with no hash
+collisions and no set objects.  The leaf-set work is memoised per fanin
+tuple — it never depends on the gate, so e.g. the XOR/AND node pairs of
+half-adders share one pass — and table composition runs on ints through
+a memoised row-remap (:func:`_remap_bits`).
 
 Whole databases are cached per network mutation epoch by
-:func:`cached_cut_database`, so the T1 detection pass and any later
-re-detection / rewriting pass over the same (unmutated) network share one
-enumeration.
+:func:`cached_cut_database`; :meth:`CutDatabase.remap` carries a
+database across a ``strash``/``compact`` id remap, re-enumerating only
+nodes whose structural neighbourhood changed (the incremental path the
+rewrite kernel drives between passes).
 
 The seed per-candidate implementation is retained as
 :func:`enumerate_cuts_reference` — the differential oracle for the kernel
@@ -30,7 +35,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import NetworkError
 from repro.network.gates import Gate, eval_gate, is_t1_tap
@@ -42,12 +47,14 @@ from repro.network.truth_table import TruthTable
 def leaf_signature(leaves: Tuple[int, ...]) -> int:
     """64-bit hashed bitmask of a leaf set (bit ``leaf % 64`` per leaf).
 
-    ``sig(A) & ~sig(B) != 0`` proves A ⊄ B, so the O(cuts²) dominance
-    filter rejects almost every pair with two int ops and only falls back
-    to an exact set comparison on a signature hit (the classic ABC
-    filter).  Bounded at 64 bits on purpose: a ``1 << node_id`` exact
+    ``sig(A) & ~sig(B) != 0`` proves A ⊄ B, so consumers (e.g. the T1
+    matcher) can reject most non-subset pairs with two int ops and only
+    fall back to an exact set comparison on a signature hit (the classic
+    ABC filter).  Bounded at 64 bits on purpose: a ``1 << node_id`` exact
     mask would make every cut carry a multi-KB big int on 20k-node
-    networks.
+    networks.  The enumeration kernel itself no longer uses hashed
+    signatures — it works on exact dense masks over the node-local leaf
+    universe, which cannot collide.
     """
     sig = 0
     for leaf in leaves:
@@ -86,13 +93,30 @@ class CutDatabase:
 
     ``epoch`` records the network mutation epoch the cuts were enumerated
     at (``-1`` for hand-built databases); :func:`cached_cut_database`
-    uses it to decide reuse.
+    uses it to decide reuse.  ``full_counts`` (kernel-enumerated
+    databases only) records, per node, the pre-truncation size of the
+    dominance-filtered cut set — :meth:`remap` needs it to know which
+    nodes were clipped by the ``cuts_per_node`` limit.
     """
 
-    def __init__(self, cuts: List[List[Cut]], k: int, epoch: int = -1):
+    def __init__(
+        self,
+        cuts: List[List[Cut]],
+        k: int,
+        epoch: int = -1,
+        cuts_per_node: int = 8,
+        include_trivial: bool = True,
+        full_counts: Optional[List[int]] = None,
+    ):
         self.cuts = cuts
         self.k = k
         self.epoch = epoch
+        self.cuts_per_node = cuts_per_node
+        self.include_trivial = include_trivial
+        self.full_counts = full_counts
+        #: filled in by :meth:`remap` on the database it returns
+        self.remap_reused = 0
+        self.remap_rebuilt = 0
         # lazy per-node {leaf tuple -> Cut} indices (satellite of the
         # mapping kernel: cut_with_leaves was an O(cuts) scan)
         self._leaf_index: Dict[int, Dict[Tuple[int, ...], Cut]] = {}
@@ -110,6 +134,183 @@ class CutDatabase:
             index = {c.leaves: c for c in self.cuts[node]}
             self._leaf_index[node] = index
         return index.get(leaves)
+
+    def remap(
+        self,
+        old_net: LogicNetwork,
+        new_net: LogicNetwork,
+        node_map: Mapping,
+    ) -> "CutDatabase":
+        """Carry this database across an id remap, re-enumerating only
+        the changed neighbourhood.
+
+        ``node_map`` is the old-id -> new-id event (a
+        :class:`~repro.network.nodemap.NodeMap` or plain mapping) emitted
+        by the pass that turned *old_net* (the network this database was
+        enumerated on) into *new_net* — e.g. ``strash`` after a batch of
+        rewrites.  The result is **bit-identical** to
+        ``enumerate_cuts(new_net, ...)`` with the same parameters.
+
+        A new node's cut set is *reused* (id-translated from its
+        preimage, tables permuted when the remap reorders leaves) when
+        the reuse is provably exact:
+
+        * it has exactly one preimage, with the same gate and the
+          id-translated multiset of fanins (structure matched);
+        * every fanin's rebuilt cut list equals the translation of its
+          preimage's list (*faithful* — so the merge inputs match);
+        * ``node_map`` is injective on the preimage's fanin-cut leaves
+          (a merge elsewhere could change feasibility/dominance);
+        * the preimage's cut set was not clipped by ``cuts_per_node``
+          (translation can reorder the keep-order at the clip boundary).
+
+        Everything else — the transitive fanout of rewritten/merged
+        regions — is re-enumerated from its (already final) fanin lists.
+        Re-enumerated nodes that end up equal to their preimage's
+        translation are still marked faithful, so dirtiness does not
+        propagate past the region where results actually differ.
+        ``remap_reused`` / ``remap_rebuilt`` on the returned database
+        count the two paths.
+        """
+        k = self.k
+        cap = self.cuts_per_node
+        old_cuts = self.cuts
+        old_full = self.full_counts
+        old_gates = old_net.gates
+        old_fanins = old_net.fanins
+        get_new = node_map.get
+
+        inv: Dict[int, int] = {}
+        multi = set()
+        for o, m in node_map.items():
+            if m in inv:
+                multi.add(m)
+            else:
+                inv[m] = o
+
+        n = new_net.num_nodes()
+        db: List[List[Cut]] = [[] for _ in range(n)]
+        leaves_of: List[List[Tuple[int, ...]]] = [[] for _ in range(n)]
+        bits_of: List[List[int]] = [[] for _ in range(n)]
+        full_counts = [0] * n
+        faithful = [False] * n
+        gates = new_net.gates
+        fanins = new_net.fanins
+        tt_var0 = TruthTable.var(0, 1)
+        merge_memo: Dict[Tuple[int, ...], Tuple[list, int]] = {}
+        reused = rebuilt = 0
+
+        def translated_rows(o: int) -> Optional[List[Tuple[Tuple[int, ...], int]]]:
+            """o's non-trivial cuts as new-id ``(leaves, bits)`` rows.
+
+            Tables are permuted when the id translation reorders leaves;
+            rows come back in the canonical ``(len, tuple)`` order.
+            Returns None when a leaf did not survive the remap.
+            """
+            rows: List[Tuple[Tuple[int, ...], int]] = []
+            for c in old_cuts[o]:
+                lv = c.leaves
+                if lv == (o,):
+                    continue
+                new_lv = tuple(get_new(l, -1) for l in lv)
+                if -1 in new_lv:
+                    return None
+                sorted_lv = tuple(sorted(new_lv))
+                if sorted_lv == new_lv:
+                    rows.append((new_lv, c.table.bits))
+                else:
+                    positions = tuple(sorted_lv.index(x) for x in new_lv)
+                    rows.append(
+                        (sorted_lv, _remap_bits(c.table.bits, positions, len(lv)))
+                    )
+            rows.sort(key=lambda r: (len(r[0]), r[0]))
+            return rows
+
+        def injective_on_fanin_leaves(o: int) -> bool:
+            leaf_set = set()
+            for f in old_fanins[o]:
+                for c in old_cuts[f]:
+                    leaf_set.update(c.leaves)
+            mapped = set()
+            for l in leaf_set:
+                ml = get_new(l)
+                if ml is None:
+                    return False
+                mapped.add(ml)
+            return len(mapped) == len(leaf_set)
+
+        for node in topological_order(new_net):
+            g = gates[node]
+            o = inv.get(node) if node not in multi else None
+            if g in (Gate.CONST0, Gate.CONST1):
+                const_tt = TruthTable.const(g is Gate.CONST1, 0)
+                db[node] = [Cut((), const_tt)]
+                leaves_of[node] = [()]
+                bits_of[node] = [const_tt.bits]
+                full_counts[node] = 1
+                faithful[node] = o is not None and old_gates[o] is g
+                continue
+            if g is Gate.PI or g is Gate.T1_CELL or is_t1_tap(g):
+                db[node] = [Cut((node,), tt_var0)]
+                leaves_of[node] = [(node,)]
+                bits_of[node] = [tt_var0.bits]
+                full_counts[node] = 1
+                faithful[node] = o is not None and old_gates[o] is g
+                continue
+
+            fins = fanins[node]
+            rows = None
+            if (
+                o is not None
+                and old_full is not None
+                and old_gates[o] is g
+                and old_full[o] <= cap
+                and all(faithful[f] for f in fins)
+            ):
+                mapped_fins = [get_new(f, -1) for f in old_fanins[o]]
+                if (
+                    -1 not in mapped_fins
+                    and sorted(mapped_fins) == sorted(fins)
+                    and injective_on_fanin_leaves(o)
+                ):
+                    rows = translated_rows(o)
+            if rows is not None:
+                reused += 1
+                faithful[node] = True
+                full_counts[node] = old_full[o]
+            else:
+                rebuilt += 1
+                rows, total = _node_cut_rows(
+                    g, fins, leaves_of, bits_of, k, cap, merge_memo
+                )
+                full_counts[node] = total
+                # stop dirtiness from propagating: a rebuilt node whose
+                # result matches its preimage's translation is faithful
+                if o is not None and old_gates[o] is g:
+                    faithful[node] = translated_rows(o) == rows
+
+            node_cuts = [Cut(key, TruthTable(bits, len(key))) for key, bits in rows]
+            node_leaves = [key for key, _bits in rows]
+            node_bits = [bits for _key, bits in rows]
+            if self.include_trivial:
+                node_cuts.append(Cut((node,), tt_var0))
+                node_leaves.append((node,))
+                node_bits.append(tt_var0.bits)
+            db[node] = node_cuts
+            leaves_of[node] = node_leaves
+            bits_of[node] = node_bits
+
+        out = CutDatabase(
+            db,
+            k,
+            epoch=new_net.epoch,
+            cuts_per_node=cap,
+            include_trivial=self.include_trivial,
+            full_counts=full_counts,
+        )
+        out.remap_reused = reused
+        out.remap_rebuilt = rebuilt
+        return out
 
 
 @lru_cache(maxsize=1 << 16)
@@ -173,67 +374,142 @@ def _compose_table(
     return TruthTable(eval_gate(gate, fanin_tts, mask) & mask, k)
 
 
-def _merge_leaf_sets(
-    fanin_fset_lists: Sequence[Sequence[frozenset]],
-    fanin_sig_lists: Sequence[Sequence[int]],
-    k: int,
-) -> Dict[frozenset, Tuple[int, ...]]:
-    """Distinct feasible merged leaf sets -> first producing combo.
+def _mask_tuple(mask: int, ordered: Sequence[int]) -> Tuple[int, ...]:
+    """Decode a local dense mask back to the sorted global leaf tuple."""
+    out = []
+    while mask:
+        low = mask & -mask
+        out.append(ordered[low.bit_length() - 1])
+        mask ^= low
+    return tuple(out)
 
-    Infeasible pairs are rejected by the 64-bit leaf signatures first:
-    every leaf sets one bit, so ``popcount(sig_a | sig_b) > k`` proves
-    ``|A ∪ B| > k`` with two int ops (collisions only under-count).
-    Only the survivors build a real set union (C-speed frozenset ``|``);
-    sorting into tuples is deferred to the distinct survivors.  The combo
-    is recorded as one cut index per fanin (the composition step needs,
-    for every fanin, *some* cut whose leaves are a subset of the merged
-    set; the node function over a fixed leaf set is unique, so which
-    combo wins does not matter for the table).
+
+def _merge_and_filter(
+    fanin_leaf_lists: Sequence[Sequence[Tuple[int, ...]]],
+    k: int,
+    cap: int,
+) -> Tuple[List[Tuple[Tuple[int, ...], Tuple[int, ...]]], int]:
+    """Merged, dominance-filtered, pruned leaf sets of one node.
+
+    Returns ``(kept, total)``: *kept* is the canonical cut list as
+    ``(sorted leaf tuple, combo)`` pairs — at most *cap* of them, sorted
+    by ``(len, tuple)`` — and *total* the pre-truncation size of the
+    dominance-filtered set (the minimal antichain, which is canonical:
+    a proper subset is strictly smaller, so membership does not depend
+    on enumeration order).  The combo records one cut index per fanin
+    (the composition step needs, for every fanin, *some* cut whose
+    leaves are a subset of the merged set; the node function over a
+    fixed leaf set is unique, so which combo wins does not matter for
+    the table).
+
+    All set work runs on exact dense masks over the node-local leaf
+    universe: feasibility is ``bit_count() <= k`` (with a free early
+    exit when one side subsumes the other — the seed's exact-size
+    pre-check, which the old 64-bit hashed signatures lost on wide-fanin
+    cones), dedup is a dict on ints, dominance is ``prev & ~cur == 0``
+    — exact, no collision fallback path.
     """
-    chosen: Dict[frozenset, Tuple[Tuple[int, ...], int]] = {}
-    if len(fanin_fset_lists) == 2:
+    universe = set()
+    for lst in fanin_leaf_lists:
+        for leaves in lst:
+            universe.update(leaves)
+    ordered = sorted(universe)
+    index = {leaf: i for i, leaf in enumerate(ordered)}
+    mask_lists: List[List[int]] = []
+    for lst in fanin_leaf_lists:
+        masks = []
+        for leaves in lst:
+            m = 0
+            for leaf in leaves:
+                m |= 1 << index[leaf]
+            masks.append(m)
+        mask_lists.append(masks)
+
+    chosen: Dict[int, Tuple[int, ...]]
+    if len(mask_lists) == 2:
         # the dominant shape after decomposition: a hand-rolled double
         # loop avoids fold bookkeeping
-        pairs_a = list(zip(fanin_fset_lists[0], fanin_sig_lists[0]))
-        pairs_b = list(zip(fanin_fset_lists[1], fanin_sig_lists[1]))
-        for ia, (fa, sa) in enumerate(pairs_a):
-            for ib, (fb, sb) in enumerate(pairs_b):
-                sig = sa | sb
-                if sig.bit_count() > k:
+        chosen = {}
+        masks_b = mask_lists[1]
+        for ia, ma in enumerate(mask_lists[0]):
+            for ib, mb in enumerate(masks_b):
+                u = ma | mb
+                if u in chosen:
                     continue
-                merged = fa | fb
-                if len(merged) > k or merged in chosen:
+                if u != ma and u != mb and u.bit_count() > k:
                     continue
-                chosen[merged] = ((ia, ib), sig)
-        return chosen
-    # wider gates: fold the fanin lists pairwise, pruning and deduping
-    # the intermediate unions.  Unions are associative and monotone in
-    # size, so dropping an infeasible or duplicate prefix never loses a
-    # feasible final leaf set — this turns the full cut-set product
-    # (|cuts|^arity combos) into |intermediates| * |cuts| work per level.
-    acc: List[Tuple[frozenset, int, Tuple[int, ...]]] = [
-        (fs, fanin_sig_lists[0][i], (i,))
-        for i, fs in enumerate(fanin_fset_lists[0])
-    ]
-    for fi in range(1, len(fanin_fset_lists)):
-        lst = fanin_fset_lists[fi]
-        sgs = fanin_sig_lists[fi]
-        seen: Dict[frozenset, None] = {}
-        nxt: List[Tuple[frozenset, int, Tuple[int, ...]]] = []
-        for fa, sa, combo in acc:
-            for ib, fb in enumerate(lst):
-                sig = sa | sgs[ib]
-                if sig.bit_count() > k:
-                    continue
-                merged = fa | fb
-                if len(merged) > k or merged in seen:
-                    continue
-                seen[merged] = None
-                nxt.append((merged, sig, combo + (ib,)))
-        acc = nxt
-    for merged, sig, combo in acc:
-        chosen[merged] = (combo, sig)
-    return chosen
+                chosen[u] = (ia, ib)
+    else:
+        # wider gates: fold the fanin lists pairwise, pruning and
+        # deduping the intermediate unions.  Unions are associative and
+        # monotone in size, so dropping an infeasible or duplicate
+        # prefix never loses a feasible final leaf set — this turns the
+        # full cut-set product (|cuts|^arity combos) into
+        # |intermediates| * |cuts| work per level.
+        acc: List[Tuple[int, Tuple[int, ...]]] = [
+            (m, (i,)) for i, m in enumerate(mask_lists[0])
+        ]
+        for masks in mask_lists[1:]:
+            seen = set()
+            nxt: List[Tuple[int, Tuple[int, ...]]] = []
+            for ma, combo in acc:
+                for ib, mb in enumerate(masks):
+                    u = ma | mb
+                    if u in seen:
+                        continue
+                    if u != ma and u.bit_count() > k:
+                        continue
+                    seen.add(u)
+                    nxt.append((u, combo + (ib,)))
+            acc = nxt
+        chosen = dict(acc)
+
+    # dominance filter over the canonical (len, tuple) order; the exact
+    # masks prove subset-ness in two int ops per probe
+    entries = [(_mask_tuple(u, ordered), u) for u in chosen]
+    entries.sort(key=lambda e: (len(e[0]), e[0]))
+    kept: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+    kept_masks: List[int] = []
+    for key, u in entries:
+        dominated = False
+        for prev in kept_masks:
+            if not (prev & ~u):
+                dominated = True
+                break
+        if dominated:
+            continue
+        kept.append((key, chosen[u]))
+        kept_masks.append(u)
+    total = len(kept)
+    del kept[cap:]
+    return kept, total
+
+
+def _node_cut_rows(
+    g: Gate,
+    fins: Tuple[int, ...],
+    leaves_of: List[List[Tuple[int, ...]]],
+    bits_of: List[List[int]],
+    k: int,
+    cap: int,
+    merge_memo: Dict[Tuple[int, ...], Tuple[list, int]],
+) -> Tuple[List[Tuple[Tuple[int, ...], int]], int]:
+    """Non-trivial ``(leaves, table bits)`` rows of one logic node.
+
+    The merge + dominance work depends only on the fanin tuple (never on
+    the gate), so nodes sharing fanins — e.g. the XOR/AND pairs of every
+    half-adder — share one pass via *merge_memo*.
+    """
+    entry = merge_memo.get(fins)
+    if entry is None:
+        entry = _merge_and_filter([leaves_of[f] for f in fins], k, cap)
+        merge_memo[fins] = entry
+    kept, total = entry
+    rows = []
+    for key, combo in kept:
+        raw = [(leaves_of[f][ci], bits_of[f][ci]) for f, ci in zip(fins, combo)]
+        rows.append((key, _compose_bits(g, raw, key)))
+    return rows, total
 
 
 def enumerate_cuts(
@@ -268,14 +544,12 @@ def enumerate_cuts(
     db: List[List[Cut]] = [[] for _ in range(n)]
     # parallel raw views of db, avoiding attribute chasing in the merge
     leaves_of: List[List[Tuple[int, ...]]] = [[] for _ in range(n)]
-    fsets_of: List[List[frozenset]] = [[] for _ in range(n)]
-    sigs_of: List[List[int]] = [[] for _ in range(n)]
     bits_of: List[List[int]] = [[] for _ in range(n)]
+    full_counts = [0] * n
     gates = net.gates
     fanins = net.fanins
     tt_var0 = TruthTable.var(0, 1)
-    # (chosen, kept) per fanin tuple — the leaf-set work is gate-blind
-    merge_memo: Dict[Tuple[int, ...], Tuple[Dict, List]] = {}
+    merge_memo: Dict[Tuple[int, ...], Tuple[list, int]] = {}
 
     for node in order:
         g = gates[node]
@@ -283,89 +557,39 @@ def enumerate_cuts(
             const_tt = TruthTable.const(g is Gate.CONST1, 0)
             db[node] = [Cut((), const_tt)]
             leaves_of[node] = [()]
-            fsets_of[node] = [frozenset()]
-            sigs_of[node] = [0]
             bits_of[node] = [const_tt.bits]
+            full_counts[node] = 1
             continue
         if g is Gate.PI or g is Gate.T1_CELL or is_t1_tap(g):
             db[node] = [Cut((node,), tt_var0)]
             leaves_of[node] = [(node,)]
-            fsets_of[node] = [frozenset((node,))]
-            sigs_of[node] = [1 << (node & 63)]
             bits_of[node] = [tt_var0.bits]
+            full_counts[node] = 1
             continue
 
-        fins = fanins[node]
-
-        # steps 1+2 depend only on the fanin tuple (never on the gate),
-        # so nodes sharing fanins — e.g. the XOR/AND pairs of every
-        # half-adder — share one merge + dominance pass via the memo
-        merged_entry = merge_memo.get(fins)
-        if merged_entry is None:
-            # 1) enumerate distinct feasible leaf sets (signature
-            #    prefilter + C-speed set unions)
-            chosen = _merge_leaf_sets(
-                [fsets_of[f] for f in fins], [sigs_of[f] for f in fins], k
-            )
-
-            # 2) dominance filter: the 64-bit leaf signatures prove most
-            #    non-subset pairs in two int ops; only signature hits pay
-            #    for the exact set comparison
-            keys = sorted(
-                ((tuple(sorted(fs)), fs) for fs in chosen),
-                key=lambda kf: (len(kf[0]), kf[0]),
-            )
-            kept: List[Tuple[Tuple[int, ...], frozenset, int]] = []
-            for key, fs in keys:
-                sig = chosen[fs][1]
-                dominated = False
-                for _prev_key, prev_set, prev_sig in kept:
-                    if prev_sig & ~sig:
-                        continue
-                    if prev_set <= fs:
-                        dominated = True
-                        break
-                if dominated:
-                    continue
-                kept.append((key, fs, sig))
-            kept = kept[:cuts_per_node]
-            merged_entry = (chosen, kept)
-            merge_memo[fins] = merged_entry
-        else:
-            chosen, kept = merged_entry
-
-        # 3) compose tables once per surviving leaf set, ints end to end;
-        #    Cut/TruthTable objects exist only for survivors
-        node_cuts: List[Cut] = []
-        node_leaves: List[Tuple[int, ...]] = []
-        node_fsets: List[frozenset] = []
-        node_sigs: List[int] = []
-        node_bits: List[int] = []
-        for key, fs, sig in kept:
-            combo = chosen[fs][0]
-            raw = [
-                (leaves_of[f][ci], bits_of[f][ci])
-                for f, ci in zip(fins, combo)
-            ]
-            bits = _compose_bits(g, raw, key)
-            node_cuts.append(Cut(key, TruthTable(bits, len(key)), sig))
-            node_leaves.append(key)
-            node_fsets.append(fs)
-            node_sigs.append(sig)
-            node_bits.append(bits)
+        rows, total = _node_cut_rows(
+            g, fanins[node], leaves_of, bits_of, k, cuts_per_node, merge_memo
+        )
+        full_counts[node] = total
+        node_cuts = [Cut(key, TruthTable(bits, len(key))) for key, bits in rows]
+        node_leaves = [key for key, _bits in rows]
+        node_bits = [bits for _key, bits in rows]
         if include_trivial:
             node_cuts.append(Cut((node,), tt_var0))
             node_leaves.append((node,))
-            node_fsets.append(frozenset((node,)))
-            node_sigs.append(1 << (node & 63))
             node_bits.append(tt_var0.bits)
         db[node] = node_cuts
         leaves_of[node] = node_leaves
-        fsets_of[node] = node_fsets
-        sigs_of[node] = node_sigs
         bits_of[node] = node_bits
 
-    return CutDatabase(db, k, epoch=net.epoch)
+    return CutDatabase(
+        db,
+        k,
+        epoch=net.epoch,
+        cuts_per_node=cuts_per_node,
+        include_trivial=include_trivial,
+        full_counts=full_counts,
+    )
 
 
 def enumerate_cuts_reference(
@@ -445,7 +669,13 @@ def enumerate_cuts_reference(
             result.append(Cut((node,), tt_var0))
         db[node] = result
 
-    return CutDatabase(db, k, epoch=net.epoch)
+    return CutDatabase(
+        db,
+        k,
+        epoch=net.epoch,
+        cuts_per_node=cuts_per_node,
+        include_trivial=include_trivial,
+    )
 
 
 def cached_cut_database(
@@ -477,4 +707,26 @@ def cached_cut_database(
         net, k=k, cuts_per_node=cuts_per_node, include_trivial=include_trivial
     )
     cache[key] = db
+    return db
+
+
+def install_cut_database(net: LogicNetwork, db: CutDatabase) -> CutDatabase:
+    """Adopt *db* as the cached database of *net*.
+
+    The entry point for incremental flows: after
+    ``new_db = old_db.remap(old_net, new_net, node_map)``, installing
+    ``new_db`` on ``new_net`` makes the next
+    :func:`cached_cut_database` call with the same parameters hit it
+    instead of re-enumerating.  The database epoch must match the
+    network's current epoch.
+    """
+    if db.epoch != net.epoch:
+        raise NetworkError(
+            f"cut database epoch {db.epoch} != network epoch {net.epoch}"
+        )
+    cache: Optional[Dict] = getattr(net, "_cut_db_cache", None)
+    if cache is None:
+        cache = {}
+        net._cut_db_cache = cache  # type: ignore[attr-defined]
+    cache[(db.k, db.cuts_per_node, db.include_trivial)] = db
     return db

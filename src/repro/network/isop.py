@@ -8,15 +8,26 @@ refactoring pass to resynthesise small cones.
 A cube over k variables is a pair of masks ``(pos, neg)``: variable i
 appears positively when bit i of ``pos`` is set, negatively when bit i of
 ``neg`` is set; a cube with both masks empty is the tautology.
+
+Rewrite loops re-derive identical small covers thousands of times (a few
+hundred distinct <=4-input functions cover the whole candidate stream of
+a registry circuit), so :func:`cached_sop` memoises the
+``(cover, gate count)`` pair per canonical ``(bits, num_vars)`` table in
+a bounded LRU (:data:`ISOP_CACHE_SIZE` entries).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 from repro.network.logic_network import CONST0, CONST1, LogicNetwork
 from repro.network.truth_table import TruthTable
+
+#: bound on the memoised resynthesis cache (distinct ≤4-input functions
+#: top out at 65536; real rewrite streams use a few hundred)
+ISOP_CACHE_SIZE = 1 << 14
 
 
 @dataclass(frozen=True)
@@ -27,7 +38,7 @@ class Cube:
     neg: int
 
     def literals(self) -> int:
-        return bin(self.pos).count("1") + bin(self.neg).count("1")
+        return self.pos.bit_count() + self.neg.bit_count()
 
     def evaluate(self, assignment: int) -> bool:
         if self.pos & ~assignment:
@@ -140,11 +151,49 @@ def synthesize_sop(
     return out
 
 
-def sop_cost(cubes: Sequence[Cube]) -> int:
-    """Literal-count cost proxy of a cover (gates the refactorer builds)."""
+def sop_gate_count(cubes: Sequence[Cube]) -> int:
+    """Gate count of the network :func:`synthesize_sop` would build.
+
+    One AND chain per multi-literal cube, one OR chain over the cubes,
+    one inverter per *distinct* negated variable.  The distinct negated
+    variables are the set bits of the OR of all ``neg`` masks — no
+    per-bit-position scan.
+    """
     if not cubes:
         return 0
-    ands = sum(max(0, c.literals() - 1) for c in cubes)
-    ors = max(0, len(cubes) - 1)
-    nots = len({("n", i) for c in cubes for i in range(32) if (c.neg >> i) & 1})
-    return ands + ors + nots
+    ands = 0
+    neg_union = 0
+    for c in cubes:
+        ands += max(0, c.literals() - 1)
+        neg_union |= c.neg
+    return ands + max(0, len(cubes) - 1) + neg_union.bit_count()
+
+
+#: historical name for the same cost proxy
+sop_cost = sop_gate_count
+
+
+@lru_cache(maxsize=ISOP_CACHE_SIZE)
+def _cached_sop_entry(bits: int, num_vars: int) -> Tuple[Tuple[Cube, ...], int]:
+    cubes = tuple(isop(TruthTable(bits, num_vars)))
+    return cubes, sop_gate_count(cubes)
+
+
+def cached_sop(tt: TruthTable) -> Tuple[Tuple[Cube, ...], int]:
+    """Memoised ``(ISOP cover, gate count)`` of an exact function.
+
+    Keyed by the canonical ``(bits, num_vars)`` pair in a bounded LRU —
+    the memoised resynthesis the rewrite kernel scores candidates with.
+    The returned cube tuple is shared; treat it as immutable.
+    """
+    return _cached_sop_entry(tt.bits, tt.num_vars)
+
+
+def sop_cache_info():
+    """``functools`` cache statistics of the resynthesis memo."""
+    return _cached_sop_entry.cache_info()
+
+
+def clear_sop_cache() -> None:
+    """Drop every memoised cover (batch runners between workloads)."""
+    _cached_sop_entry.cache_clear()

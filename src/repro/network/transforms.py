@@ -15,18 +15,45 @@ does to a netlist before technology mapping:
   Minato-Morreale ISOP (AND-OR-NOT), and accept when that is smaller
   than the cone it replaces.  Equivalence-preserving by construction;
   validated by CEC in the tests.
+
+:func:`refactor` is the *rewrite kernel* (ABC/mockturtle-style
+priority-ordered rewriting): every node's candidate rewrites are scored
+up front — cut function, memoised ISOP cover
+(:func:`~repro.network.isop.cached_sop`) and gain — and pushed into a
+priority queue that is drained with lazy revalidation: entries whose
+node was claimed by an earlier acceptance are dropped on pop, entries
+whose best candidate got blocked fall back to their next-best unblocked
+candidate, and (in max-gain order) entries whose attainable gain shrank
+are re-keyed and re-queued instead of being applied stale.  With the
+default ``priority="topo"`` the queue drains in topological order and
+the kernel is **bit-identical** to :func:`refactor_reference` (the seed
+single-sweep implementation, retained as the differential oracle):
+identical accepted rewrites, identical strashed result.
+``priority="gain"`` drains by descending gain — a different (still
+equivalence-preserving, CEC-validated) acceptance order.
+
+Multi-pass refactoring (``passes > 1``) is incremental: between passes
+the cut database is carried through the strash id remap with
+:meth:`~repro.network.cuts.CutDatabase.remap` and MFFC cones with
+:meth:`~repro.network.mffc.MffcComputer.carry_over`, so analyses are
+re-enumerated only inside the structural neighbourhood
+(:func:`~repro.network.traversal.structural_diff`) of the accepted
+rewrites instead of from scratch per pass.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Optional, Tuple
 
-from repro.network.cuts import cached_cut_database
+from repro.errors import NetworkError
 from repro.network.cleanup import strash
+from repro.network.cuts import cached_cut_database, install_cut_database
 from repro.network.gates import Gate, is_t1_tap
-from repro.network.isop import isop, synthesize_sop
+from repro.network.isop import cached_sop, isop, sop_gate_count, synthesize_sop
 from repro.network.logic_network import CONST0, CONST1, LogicNetwork
 from repro.network.mffc import MffcComputer
+from repro.network.traversal import structural_diff
 
 
 def to_aig_form(net: LogicNetwork) -> LogicNetwork:
@@ -102,30 +129,27 @@ def _cone_cost(net: LogicNetwork, nodes) -> int:
     )
 
 
-def _sop_gate_count(cubes) -> int:
-    if not cubes:
-        return 0
-    inv_vars = set()
-    ands = 0
-    for c in cubes:
-        lits = c.literals()
-        ands += max(0, lits - 1)
-        for i in range(32):
-            if (c.neg >> i) & 1:
-                inv_vars.add(i)
-    return ands + max(0, len(cubes) - 1) + len(inv_vars)
+#: historical name — the fixed implementation lives in
+#: :func:`repro.network.isop.sop_gate_count` (set-bit iteration via mask
+#: union instead of a 32-position scan per cube)
+_sop_gate_count = sop_gate_count
+
+#: skip gates that are free, interface or already-mapped
+_SKIP_GATES = (Gate.PI, Gate.CONST0, Gate.CONST1, Gate.BUF)
 
 
-def refactor(
+def refactor_reference(
     net: LogicNetwork,
     cut_size: int = 4,
     cuts_per_node: int = 8,
 ) -> Tuple[LogicNetwork, int]:
-    """One refactoring pass; returns ``(new_network, accepted_rewrites)``.
+    """The seed single-sweep refactoring — the kernel's differential oracle.
 
-    Nodes are visited in topological order; for each, the largest
-    available cut is resynthesised via ISOP and the rewrite is accepted
-    when it strictly reduces the gate count of the node's MFFC.
+    Visits nodes in topological order; for each, every cut is scored
+    against the *current* claimed-set (unmemoised ISOP per candidate)
+    and the best positive-gain rewrite is applied immediately.
+    :func:`refactor` with ``priority="topo"`` is pinned bit-identical to
+    this (same accepted count, same strashed result).
     """
     work = net.clone()
     # all analysis (cuts, MFFC, costs) runs on the frozen original; the
@@ -139,7 +163,7 @@ def refactor(
 
     for node in net.topological_order():
         g = net.gates[node]
-        if g in (Gate.PI, Gate.CONST0, Gate.CONST1, Gate.BUF):
+        if g in _SKIP_GATES:
             continue
         if g is Gate.T1_CELL or is_t1_tap(g):
             continue
@@ -171,3 +195,177 @@ def refactor(
 
     swept, _ = strash(work)
     return swept, accepted
+
+
+def _score_node(net, db, mffc, node) -> List[tuple]:
+    """All positive-gain candidates of *node*, in cut order.
+
+    Each entry is ``(gain, cut_index, leaves, cubes, cone)``, scored
+    against an empty claimed-set (the optimistic upper bound the queue
+    keys on); the pop-time filter re-applies the live claimed-set.
+    """
+    cands = []
+    for idx, cut in enumerate(db[node]):
+        leaves = cut.leaves
+        if len(leaves) < 2 or node in leaves:
+            continue
+        cone = mffc.mffc(node, boundary=leaves)
+        old_cost = _cone_cost(net, cone)
+        cubes, new_cost = cached_sop(cut.table)
+        gain = old_cost - new_cost
+        if gain > 0:
+            cands.append((gain, idx, leaves, cubes, cone))
+    return cands
+
+
+def _pick_unblocked(cands, claimed) -> Optional[tuple]:
+    """Best candidate whose leaves and cone avoid *claimed*.
+
+    First-max in cut order — the reference's tie-break (strict ``>``
+    keeps the earliest cut achieving the maximum gain).
+    """
+    best = None
+    for cand in cands:
+        leaves = cand[2]
+        blocked = False
+        for leaf in leaves:
+            if leaf in claimed:
+                blocked = True
+                break
+        if blocked or claimed & cand[4]:
+            continue
+        if best is None or cand[0] > best[0]:
+            best = cand
+    return best
+
+
+def _refactor_pass(
+    net: LogicNetwork,
+    db,
+    mffc: MffcComputer,
+    priority: str,
+    stats: Dict[str, int],
+) -> Tuple[LogicNetwork, int]:
+    """One queue-driven rewrite pass; returns ``(mutated work copy, accepted)``."""
+    work = net.clone()
+    gates = net.gates
+    topo = net.topological_order()
+    rank = {node: i for i, node in enumerate(topo)}
+    heap: List[tuple] = []
+    cands_of: Dict[int, List[tuple]] = {}
+
+    for node in topo:
+        g = gates[node]
+        if g in _SKIP_GATES or g is Gate.T1_CELL or is_t1_tap(g):
+            continue
+        cands = _score_node(net, db, mffc, node)
+        if not cands:
+            continue
+        cands_of[node] = cands
+        best_gain = max(c[0] for c in cands)
+        if priority == "topo":
+            key = (rank[node], 0)
+        else:
+            key = (-best_gain, rank[node])
+        heap.append((key, node, best_gain))
+    heapq.heapify(heap)
+    stats["scored_nodes"] += len(cands_of)
+
+    claimed: set = set()
+    accepted = 0
+    while heap:
+        _key, node, queued_gain = heapq.heappop(heap)
+        if node in claimed:
+            stats["dropped_claimed"] += 1
+            continue
+        best = _pick_unblocked(cands_of[node], claimed)
+        if best is None:
+            stats["dropped_blocked"] += 1
+            continue
+        gain, _idx, leaves, cubes, cone = best
+        if priority == "gain" and gain < queued_gain:
+            # lazy revalidation: the optimistic key went stale (an
+            # acceptance blocked the queued best) — re-key and re-queue
+            # instead of applying out of priority order
+            stats["requeued"] += 1
+            heapq.heappush(heap, ((-gain, rank[node]), node, gain))
+            continue
+        new_root = synthesize_sop(work, list(leaves), cubes)
+        work.substitute(node, new_root)
+        claimed |= cone
+        claimed.add(node)
+        accepted += 1
+    return work, accepted
+
+
+_STAT_KEYS = (
+    "passes_run",
+    "accepted",
+    "scored_nodes",
+    "dropped_claimed",
+    "dropped_blocked",
+    "requeued",
+    "cone_cache_hits",
+    "cone_cache_misses",
+    "cones_carried",
+    "cuts_reused",
+    "cuts_rebuilt",
+)
+
+
+def refactor(
+    net: LogicNetwork,
+    cut_size: int = 4,
+    cuts_per_node: int = 8,
+    passes: int = 1,
+    priority: str = "topo",
+    stats: Optional[Dict[str, int]] = None,
+) -> Tuple[LogicNetwork, int]:
+    """Priority-queue refactoring; returns ``(new_network, accepted_rewrites)``.
+
+    ``priority="topo"`` (default) drains the queue in topological order
+    and is bit-identical to :func:`refactor_reference`;
+    ``priority="gain"`` drains by descending gain (equivalence-preserving
+    but a different acceptance order).  ``passes`` runs up to that many
+    rewrite passes, carrying cut/MFFC analyses incrementally across the
+    inter-pass strash (stopping early once a pass accepts nothing).
+    Pass a dict as ``stats`` to receive kernel counters (scored nodes,
+    queue invalidations, analysis reuse).
+    """
+    if priority not in ("topo", "gain"):
+        raise NetworkError(f"unknown refactor priority: {priority!r}")
+    if passes < 1:
+        raise NetworkError("refactor needs at least one pass")
+    st: Dict[str, int] = stats if stats is not None else {}
+    for key in _STAT_KEYS:
+        st.setdefault(key, 0)
+
+    current = net
+    db = cached_cut_database(current, k=cut_size, cuts_per_node=cuts_per_node)
+    mffc = MffcComputer(current)
+    total_accepted = 0
+
+    for p in range(passes):
+        work, accepted = _refactor_pass(current, db, mffc, priority, st)
+        st["passes_run"] += 1
+        st["accepted"] += accepted
+        st["cone_cache_hits"] += mffc.cache_hits
+        st["cone_cache_misses"] += mffc.cache_misses
+        total_accepted += accepted
+        swept, nm = strash(work)
+        if accepted == 0:
+            return swept, total_accepted
+        if p + 1 < passes:
+            # restrict the remap event to the pass input's ids (the SOP
+            # nodes appended to the work copy have no analysis to carry)
+            limit = current.num_nodes()
+            nm_dict = {o: m for o, m in nm.items() if o < limit}
+            db = db.remap(current, swept, nm_dict)
+            install_cut_database(swept, db)
+            st["cuts_reused"] += db.remap_reused
+            st["cuts_rebuilt"] += db.remap_rebuilt
+            dirty = structural_diff(current, swept, nm_dict)
+            mffc = mffc.carry_over(swept, nm_dict, dirty)
+            st["cones_carried"] += mffc.carried_entries
+        current = swept
+    return current, total_accepted

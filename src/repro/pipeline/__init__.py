@@ -32,6 +32,7 @@ from repro.pipeline.passes import (
     IlpPhasePass,
     MapPass,
     PhaseAssignPass,
+    RefactorPass,
     SplitterPass,
     T1DetectPass,
     VerifyMetricsPass,
@@ -49,6 +50,7 @@ __all__ = [
     "PhaseAssignPass",
     "Pipeline",
     "PipelineHooks",
+    "RefactorPass",
     "SplitterPass",
     "T1DetectPass",
     "VerifyMetricsPass",

@@ -9,7 +9,11 @@ Bracketed passes are optional; every pass can be removed, replaced or
 reordered through the :class:`~repro.pipeline.pipeline.Pipeline` builder.
 """
 
-from repro.pipeline.passes.decompose import BalancePass, DecomposePass
+from repro.pipeline.passes.decompose import (
+    BalancePass,
+    DecomposePass,
+    RefactorPass,
+)
 from repro.pipeline.passes.dff_insert import DffInsertPass, SplitterPass
 from repro.pipeline.passes.finalize import VerifyMetricsPass, verify_streaming
 from repro.pipeline.passes.mapping import MapPass
@@ -23,6 +27,7 @@ __all__ = [
     "IlpPhasePass",
     "MapPass",
     "PhaseAssignPass",
+    "RefactorPass",
     "SplitterPass",
     "T1DetectPass",
     "VerifyMetricsPass",
