@@ -4,13 +4,22 @@ Examples::
 
     repro-flow run adder --phases 4 --t1            # one flow, one circuit
     repro-flow run adder --t1 --timings             # + per-pass breakdown
+    repro-flow run adder --t1 --json                # strict-JSON report
     repro-flow table --preset ci --jobs 4           # Table I, 4 workers
     repro-flow list                                 # registered benchmarks
     repro-flow run mydesign.blif --t1 --verify full # external netlist
     repro-flow fig1b                                # T1 pulse waveform
 
+Service mode (flow-as-a-service)::
+
+    repro-flow serve --port 8080 --workers 4        # persistent daemon
+    repro-flow submit adder --t1 --wait             # job through the daemon
+    repro-flow status <job-id>                      # poll a job
+    repro-flow result <job-id> --wait               # fetch/await the report
+
 Flows are composed with :mod:`repro.pipeline` and batched with
-:func:`repro.pipeline.run_many`.
+:func:`repro.pipeline.run_many`; the service verbs speak the strict-JSON
+wire format from :mod:`repro.service.protocol`.
 """
 
 from __future__ import annotations
@@ -22,7 +31,7 @@ from typing import List, Optional
 from repro.circuits import benchmark_registry, build, names
 from repro.errors import ReproError
 from repro.network.logic_network import LogicNetwork
-from repro.pipeline import Pipeline, run_table
+from repro.pipeline import run_table
 
 
 def _open_netlist(source: str):
@@ -61,18 +70,36 @@ def _cmd_list(_args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    net = _load_network(args.benchmark, args.preset)
-    pipeline = Pipeline.standard(
-        n_phases=args.phases,
-        use_t1=args.t1,
-        verify=args.verify,
-        sweeps=args.sweeps,
-        balance_pos=not args.no_po_balance,
-        share_chains=not args.no_share,
-        balance_network=args.balance,
+def _run_config(args) -> dict:
+    """The normalized pipeline config the run/submit args describe."""
+    from repro.service.protocol import normalize_config
+
+    return normalize_config(
+        {
+            "n_phases": args.phases,
+            "use_t1": args.t1,
+            "verify": args.verify,
+            "sweeps": args.sweeps,
+            "balance_pos": not args.no_po_balance,
+            "share_chains": not args.no_share,
+            "balance_network": args.balance,
+        }
     )
+
+
+def _cmd_run(args) -> int:
+    from repro.service.protocol import build_pipeline
+
+    net = _load_network(args.benchmark, args.preset)
+    config = _run_config(args)
+    pipeline = build_pipeline(config)
     ctx = pipeline.run(net)
+    if args.json:
+        from repro.io.json_report import dumps_json_report
+        from repro.service.protocol import flow_report
+
+        sys.stdout.write(dumps_json_report(flow_report(ctx, config=config)))
+        return 0
     m = ctx.metrics
     print(f"benchmark : {net.name}")
     print(f"flow      : {'T1 + ' if args.t1 else ''}{args.phases}-phase")
@@ -119,6 +146,85 @@ def _cmd_table(args) -> int:
     return 0
 
 
+def _print_json(obj) -> None:
+    from repro.io.json_report import dumps_json_report
+
+    sys.stdout.write(dumps_json_report(obj))
+
+
+def _client(args):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.url, timeout=args.http_timeout)
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.server import FlowDaemon
+
+    daemon = FlowDaemon(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        job_timeout_s=args.job_timeout,
+        cache_entries=args.cache_entries,
+        drain_timeout_s=args.drain_timeout,
+        verbose=args.verbose,
+    )
+    daemon.start()
+    host, port = daemon.address
+    print(
+        f"repro-flow service listening on http://{host}:{port} "
+        f"({args.workers} warm workers, queue {args.queue_size}, "
+        f"job timeout {args.job_timeout:g}s)",
+        file=sys.stderr,
+    )
+    old = daemon.install_signal_handlers()
+    try:
+        daemon.wait_for_stop()
+        print("draining...", file=sys.stderr)
+        drained = daemon.stop()
+    finally:
+        import signal as _signal
+
+        for sig, handler in old.items():
+            _signal.signal(sig, handler)
+    print("shut down cleanly" if drained else "shut down with jobs pending",
+          file=sys.stderr)
+    return 0 if drained else 1
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.protocol import circuit_payload_from_source
+
+    client = _client(args)
+    circuit = circuit_payload_from_source(args.benchmark, args.preset)
+    status = client.submit(
+        circuit,
+        config=_run_config(args),
+        timeout_s=args.job_timeout,
+    )
+    if args.wait:
+        _print_json(client.wait(status["job_id"], timeout=args.wait_timeout))
+    else:
+        _print_json(status)
+    return 0
+
+
+def _cmd_status(args) -> int:
+    _print_json(_client(args).status(args.job_id))
+    return 0
+
+
+def _cmd_result(args) -> int:
+    client = _client(args)
+    if args.wait:
+        _print_json(client.wait(args.job_id, timeout=args.wait_timeout))
+    else:
+        _print_json(client.result(args.job_id))
+    return 0
+
+
 def _cmd_fig1b(_args) -> int:
     from repro.sfq import simulate_pulse_train, waveform_ascii
 
@@ -144,30 +250,50 @@ def make_parser() -> argparse.ArgumentParser:
         fn=_cmd_list
     )
 
+    def add_flow_args(p_):
+        """The flow knobs shared by ``run`` and ``submit``."""
+        p_.add_argument(
+            "benchmark", help="benchmark name or .blif/.bench file"
+        )
+        p_.add_argument("--phases", "-n", type=int, default=4)
+        p_.add_argument(
+            "--t1", action="store_true", help="enable T1 detection"
+        )
+        p_.add_argument(
+            "--preset", choices=("paper", "ci"), default="paper",
+            help="benchmark size preset",
+        )
+        p_.add_argument(
+            "--verify", choices=("none", "cec", "full"), default="cec"
+        )
+        p_.add_argument("--sweeps", type=int, default=4)
+        p_.add_argument("--no-po-balance", action="store_true")
+        p_.add_argument("--no-share", action="store_true",
+                        help="per-edge DFF chains (no net sharing)")
+        p_.add_argument("--balance", action="store_true",
+                        help="depth-rebalance associative trees first")
+
+    def add_client_args(p_):
+        """The transport knobs shared by every service client verb."""
+        p_.add_argument("--url", default="http://127.0.0.1:8080",
+                        help="flow-service base URL")
+        p_.add_argument("--http-timeout", type=float, default=30.0,
+                        help="per-request HTTP timeout in seconds")
+        p_.add_argument("--wait-timeout", type=float, default=600.0,
+                        help="total seconds to wait with --wait")
+
     run_p = sub.add_parser("run", help="run one flow on one circuit")
-    run_p.add_argument("benchmark", help="benchmark name or .blif/.bench file")
-    run_p.add_argument("--phases", "-n", type=int, default=4)
-    run_p.add_argument("--t1", action="store_true", help="enable T1 detection")
-    run_p.add_argument(
-        "--preset", choices=("paper", "ci"), default="paper",
-        help="benchmark size preset",
-    )
-    run_p.add_argument(
-        "--verify", choices=("none", "cec", "full"), default="cec"
-    )
-    run_p.add_argument("--sweeps", type=int, default=4)
-    run_p.add_argument("--no-po-balance", action="store_true")
-    run_p.add_argument("--no-share", action="store_true",
-                       help="per-edge DFF chains (no net sharing)")
+    add_flow_args(run_p)
     run_p.add_argument("--dot", help="write the staged netlist as DOT")
     run_p.add_argument("--energy", action="store_true",
                        help="print the RSFQ energy/power estimate")
     run_p.add_argument("--frequency", type=float, default=20.0,
                        help="clock frequency in GHz for --energy")
-    run_p.add_argument("--balance", action="store_true",
-                       help="depth-rebalance associative trees first")
     run_p.add_argument("--timings", action="store_true",
                        help="print the per-pass timing breakdown")
+    run_p.add_argument("--json", action="store_true",
+                       help="print the strict-JSON flow report instead of "
+                            "the human-readable summary")
     run_p.set_defaults(fn=_cmd_run)
 
     tab_p = sub.add_parser("table", help="reproduce Table I")
@@ -185,6 +311,50 @@ def make_parser() -> argparse.ArgumentParser:
     tab_p.add_argument("--jobs", "-j", type=int, default=1,
                        help="worker processes for the batch runner")
     tab_p.set_defaults(fn=_cmd_table)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the persistent flow-service daemon"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8080,
+                         help="TCP port (0 picks a free one)")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="warm worker processes")
+    serve_p.add_argument("--queue-size", type=int, default=32,
+                         help="bounded queue depth (backpressure beyond)")
+    serve_p.add_argument("--job-timeout", type=float, default=300.0,
+                         help="per-job wall-clock cap in seconds")
+    serve_p.add_argument("--cache-entries", type=int, default=256,
+                         help="result-cache capacity (LRU beyond)")
+    serve_p.add_argument("--drain-timeout", type=float, default=30.0,
+                         help="seconds to wait for in-flight jobs on "
+                              "SIGTERM before hard shutdown")
+    serve_p.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request to stderr")
+    serve_p.set_defaults(fn=_cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit", help="submit one flow job to a running daemon"
+    )
+    add_flow_args(submit_p)
+    add_client_args(submit_p)
+    submit_p.add_argument("--job-timeout", type=float, default=None,
+                          help="per-job timeout request (capped server-side)")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="block and print the finished report")
+    submit_p.set_defaults(fn=_cmd_submit)
+
+    status_p = sub.add_parser("status", help="query one job's state")
+    status_p.add_argument("job_id")
+    add_client_args(status_p)
+    status_p.set_defaults(fn=_cmd_status)
+
+    result_p = sub.add_parser("result", help="fetch one job's flow report")
+    result_p.add_argument("job_id")
+    add_client_args(result_p)
+    result_p.add_argument("--wait", action="store_true",
+                          help="poll until the job finishes first")
+    result_p.set_defaults(fn=_cmd_result)
 
     sub.add_parser(
         "fig1b", help="reproduce the Fig. 1b pulse waveform"

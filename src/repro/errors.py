@@ -78,6 +78,19 @@ class HazardError(TimingError):
     """
 
 
+class ServiceError(ReproError):
+    """A flow-service request failed (bad job spec, unknown job, worker
+    crash/timeout, backpressure rejection, transport failure...).
+
+    ``status`` carries the HTTP status code when the error crossed the
+    wire (0 for purely local failures).
+    """
+
+    def __init__(self, message: str, status: int = 0):
+        self.status = status
+        super().__init__(message)
+
+
 class EquivalenceError(ReproError):
     """Two networks that must be equivalent are not (includes witness)."""
 

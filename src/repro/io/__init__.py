@@ -2,6 +2,7 @@
 
 from repro.io.bench import dumps_bench, loads_bench, read_bench, write_bench
 from repro.io.json_report import (
+    canonical_dumps,
     dump_json_report,
     dumps_json_report,
     sanitize_report,
@@ -22,6 +23,7 @@ from repro.io.verilog import (
 )
 
 __all__ = [
+    "canonical_dumps",
     "dump_json_report",
     "dumps_bench",
     "dumps_json_report",

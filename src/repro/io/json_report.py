@@ -72,6 +72,21 @@ def dump_json_report(
     Path(path).write_text(dumps_json_report(obj, indent=indent))
 
 
+def canonical_dumps(obj: Any) -> str:
+    """Deterministic, compact, strict JSON: sorted keys, no whitespace.
+
+    This is the canonical serialization the service layer hashes into
+    content-addressed cache keys — two semantically equal configs must
+    produce byte-identical encodings regardless of dict insertion order.
+    """
+    return json.dumps(
+        sanitize_report(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
 def _reject_constant(token: str) -> Any:
     raise ValueError(f"non-standard JSON token {token!r}")
 

@@ -55,6 +55,7 @@ from repro.network.npn import (
     npn_canon_enum,
     npn_class_members,
     npn_equivalent,
+    warm_tables,
 )
 from repro.network.balance import balance
 from repro.network.cleanup import strash, sweep
@@ -136,6 +137,7 @@ __all__ = [
     "match_against_enum",
     "npn_canon_enum",
     "npn_class_members",
+    "warm_tables",
     "sat_equivalence",
     "signature_equivalence",
     "simulate",

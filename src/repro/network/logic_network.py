@@ -35,6 +35,7 @@ Design notes
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import CycleError, NetworkError
@@ -174,6 +175,8 @@ class LogicNetwork:
         self._levels_epoch: int = -1
         self._fanout_lists_cache: Optional[List[List[int]]] = None
         self._fanout_lists_epoch: int = -1
+        self._shash_cache: Optional[str] = None
+        self._shash_key: Optional[Tuple] = None
         # hash-consing ---------------------------------------------------------
         self._hash_cons: bool = hash_cons
         self._hash_table: Dict[Tuple, int] = {}
@@ -521,6 +524,56 @@ class LogicNetwork:
         lvl = self.levels()
         return max(lvl[po] for po in self._pos)
 
+    def structural_hash(self) -> str:
+        """Canonical content hash of the live network (64-hex SHA-256).
+
+        The hash covers exactly the semantic content of the network as a
+        function of its interface: gate kinds, fanin *structure*
+        (commutative fanins contribute as an unordered multiset), the PI
+        interface (count and positional identity) and the PO bindings in
+        slot order.  It deliberately excludes node ids, node/PO names,
+        dead nodes and construction order, so it is invariant under
+        :meth:`clone` and the id renumbering of :meth:`compact` /
+        ``sweep``, while any semantic edit (gate change, rewiring, PO
+        re-binding or re-ordering, added output) produces a different
+        hash.  Two networks with equal hashes compute the same functions
+        through the same live structure.
+
+        Built from SHA-256, not Python's ``hash()``, so the value is
+        stable across processes and interpreter runs — it is the
+        content-address the service layer keys its cross-run result
+        cache on.  Cached per (mutation epoch, PO bindings); repeated
+        calls on an unchanged network are O(1).
+        """
+        key = (self._epoch, tuple(self._pos), tuple(self._pis))
+        if self._shash_cache is not None and self._shash_key == key:
+            return self._shash_cache
+        digests: List[Optional[bytes]] = [None] * len(self.gates)
+        digests[CONST0] = hashlib.sha256(b"CONST0").digest()
+        digests[CONST1] = hashlib.sha256(b"CONST1").digest()
+        for index, pi in enumerate(self._pis):
+            digests[pi] = hashlib.sha256(b"PI:%d" % index).digest()
+        gates = self.gates
+        fanins = self.fanins
+        sha256 = hashlib.sha256
+        for node in self.topological_order():
+            if digests[node] is not None:
+                continue
+            gate = gates[node]
+            fins = [digests[f] for f in fanins[node]]
+            if gate in _COMMUTATIVE:
+                fins.sort()
+            digests[node] = sha256(
+                gate.name.encode() + b"(" + b"".join(fins) + b")"
+            ).digest()
+        h = sha256(b"NET:%d:%d|" % (len(self._pis), len(self._pos)))
+        for po in self._pos:
+            h.update(digests[po])
+        result = h.hexdigest()
+        self._shash_cache = result
+        self._shash_key = key
+        return result
+
     # -- mutation ------------------------------------------------------------------
 
     def substitute(self, old: int, new: int) -> int:
@@ -771,6 +824,8 @@ class LogicNetwork:
         out._levels_epoch = self._levels_epoch
         out._fanout_lists_cache = self._fanout_lists_cache
         out._fanout_lists_epoch = self._fanout_lists_epoch
+        out._shash_cache = self._shash_cache
+        out._shash_key = self._shash_key
         out._hash_cons = self._hash_cons
         out._hash_table = dict(self._hash_table)
         return out

@@ -171,6 +171,18 @@ def npn_canon(tt: TruthTable) -> Tuple[TruthTable, NpnTransform]:
     return TruthTable(bits, k), _all_transforms(k)[idx]
 
 
+def warm_tables(max_k: int = 3) -> None:
+    """Force-build the precomputed canonisation tables for ``k <= max_k``.
+
+    The tables are lazy module-level ``lru_cache`` entries, so every
+    fresh process pays the build cost on its first :func:`npn_canon`
+    call.  Long-lived worker processes (the ``run_many`` pool, the
+    service daemon's warm pool) call this once at startup instead.
+    """
+    for k in range(min(max_k, 3) + 1):
+        _npn_table(k)
+
+
 def npn_canon_enum(tt: TruthTable) -> Tuple[TruthTable, NpnTransform]:
     """The seed exhaustive search — retained as the differential oracle."""
     if tt.num_vars > 4:

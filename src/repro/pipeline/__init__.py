@@ -23,7 +23,12 @@ new code composes flows from passes::
 """
 
 from repro.pipeline.base import Pass
-from repro.pipeline.batch import baseline_pipelines, run_many, run_table
+from repro.pipeline.batch import (
+    baseline_pipelines,
+    run_many,
+    run_table,
+    warm_worker,
+)
 from repro.pipeline.context import FlowContext
 from repro.pipeline.passes import (
     BalancePass,
@@ -57,4 +62,5 @@ __all__ = [
     "baseline_pipelines",
     "run_many",
     "run_table",
+    "warm_worker",
 ]

@@ -41,6 +41,23 @@ def _normalize(
     return jobs
 
 
+def warm_worker() -> None:
+    """Pre-warm the per-process lookup tables the flow relies on.
+
+    The k<=3 NPN canonisation tables and the complete T1 inverse match
+    table are lazy module-level caches: a cold worker process rebuilds
+    them on its first mapped circuit.  Passing this as the pool
+    *initializer* moves that cost to worker startup, where it is paid
+    once and off the critical path of the first job.  Shared by the
+    ``run_many`` pool and the service daemon's warm worker pool.
+    """
+    from repro.core.t1_matching import t1_match_table
+    from repro.network.npn import warm_tables
+
+    warm_tables(max_k=3)
+    t1_match_table()
+
+
 def _run_job(job: Tuple[LogicNetwork, Pipeline]) -> FlowContext:
     net, pipe = job
     return pipe.run(net)
@@ -78,7 +95,9 @@ def run_many(
     import multiprocessing as mp
 
     stripped = [(net, pipe.without_hooks()) for net, pipe in work]
-    with mp.Pool(processes=min(jobs, len(stripped))) as pool:
+    with mp.Pool(
+        processes=min(jobs, len(stripped)), initializer=warm_worker
+    ) as pool:
         return _collect(pool.imap(_run_job, stripped))
 
 

@@ -1,0 +1,79 @@
+"""Flow-as-a-service: persistent daemon, warm worker pool, result cache.
+
+The subsystem the scale roadmap plugs into::
+
+    from repro.service import FlowDaemon, ServiceClient
+
+    daemon = FlowDaemon(port=0, workers=2)
+    daemon.start()
+    client = ServiceClient(daemon.url)
+    report = client.submit_and_wait(
+        {"kind": "registry", "name": "adder", "preset": "ci"},
+        config={"use_t1": True},
+    )
+    daemon.stop()
+
+Layers (bottom-up):
+
+* :mod:`repro.service.protocol` — wire format, config normalization,
+  circuit payloads, content-addressed cache keys, the v1 flow report.
+* :mod:`repro.service.cache` — bounded LRU result cache keyed by
+  ``structural_hash(circuit) + canonical(config)``.
+* :mod:`repro.service.queue` — bounded job queue + warm multiprocessing
+  worker pool with per-job timeouts and crash respawn.
+* :mod:`repro.service.server` — the transport-free :class:`FlowService`
+  core, the stdlib HTTP server, and the :class:`FlowDaemon` lifecycle
+  (SIGTERM drain).
+* :mod:`repro.service.client` — thin urllib client (used by the
+  ``repro-flow submit/status/result`` CLI verbs).
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    PIPELINE_DEFAULTS,
+    REPORT_SCHEMA,
+    bench_circuit,
+    blif_circuit,
+    build_pipeline,
+    cache_key,
+    circuit_payload_from_source,
+    flow_report,
+    load_circuit,
+    normalize_config,
+    registry_circuit,
+)
+from repro.service.queue import (
+    DrainingError,
+    Job,
+    QueueFullError,
+    WorkerPool,
+)
+from repro.service.server import (
+    FlowDaemon,
+    FlowService,
+    ServiceHTTPServer,
+)
+
+__all__ = [
+    "PIPELINE_DEFAULTS",
+    "REPORT_SCHEMA",
+    "DrainingError",
+    "FlowDaemon",
+    "FlowService",
+    "Job",
+    "QueueFullError",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "WorkerPool",
+    "bench_circuit",
+    "blif_circuit",
+    "build_pipeline",
+    "cache_key",
+    "circuit_payload_from_source",
+    "flow_report",
+    "load_circuit",
+    "normalize_config",
+    "registry_circuit",
+]

@@ -1,0 +1,79 @@
+"""Content-addressed result cache for the flow service.
+
+Keys are the :func:`repro.service.protocol.cache_key` content addresses
+(structural hash of the circuit + canonical config encoding); values are
+finished flow-report dicts.  The cache is a bounded LRU: a full cache
+evicts the least-recently-*used* entry, so hot resubmissions survive
+bursts of one-off traffic.
+
+Thread safety: every public method takes the internal lock — the HTTP
+handler threads, the pool dispatcher threads and the metrics endpoint
+all touch one instance concurrently.  Stored and returned reports are
+deep copies, so neither the producer nor any consumer can mutate a
+cached entry in place (serving ``cached: true`` must never depend on
+caller discipline).
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+
+class ResultCache:
+    """Bounded, thread-safe, content-addressed report store."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached report for *key* (a fresh copy), or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return copy.deepcopy(entry)
+
+    def put(self, key: str, report: Dict[str, Any]) -> None:
+        """Store a finished report under its content address."""
+        with self._lock:
+            self._entries[key] = copy.deepcopy(report)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus current occupancy."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }

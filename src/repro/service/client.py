@@ -1,0 +1,139 @@
+"""Thin HTTP client for the flow service (stdlib ``urllib`` only).
+
+Speaks the strict-JSON wire format from :mod:`repro.service.protocol`;
+every server-side failure surfaces as a :class:`ServiceError` carrying
+the HTTP status (429 = backpressure, 503 = draining, 404 = unknown job,
+500 = the job itself failed), so callers can branch on ``exc.status``
+without parsing message text.
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+from repro.errors import ServiceError
+from repro.io.json_report import dumps_json_report, strict_loads
+from repro.service.protocol import DONE, FAILED
+
+
+class ServiceClient:
+    """Client for one flow-service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[Any] = None
+    ) -> Any:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = dumps_json_report(body).encode()
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return strict_loads(resp.read().decode())
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode(errors="replace")
+            try:
+                message = strict_loads(raw).get("error", raw)
+            except (ValueError, AttributeError):
+                message = raw or exc.reason
+            raise ServiceError(message, status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach flow service at {self.base_url}: {exc.reason}"
+            ) from exc
+
+    # -- API -----------------------------------------------------------------
+
+    def submit(
+        self,
+        circuit: Dict[str, Any],
+        config: Optional[Dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+        debug: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Submit one job; returns its status dict (see ``Job.status_dict``)."""
+        payload: Dict[str, Any] = {"circuit": circuit}
+        if config is not None:
+            payload["config"] = config
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        if debug is not None:
+            payload["debug"] = debug
+        return self._request("POST", "/jobs", payload)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The finished flow report (raises while the job is unfinished)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = 300.0,
+        poll_interval: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll until the job finishes; returns its report.
+
+        A failed job raises :class:`ServiceError` with the server-side
+        error text (status 500).
+        """
+        deadline = None if timeout is None else time.time() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in (DONE, FAILED):
+                return self.result(job_id)
+            if deadline is not None and time.time() >= deadline:
+                raise ServiceError(
+                    f"timed out waiting for job {job_id} "
+                    f"(last state: {status['state']})"
+                )
+            time.sleep(poll_interval)
+
+    def submit_and_wait(
+        self,
+        circuit: Dict[str, Any],
+        config: Optional[Dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+        timeout: Optional[float] = 300.0,
+    ) -> Dict[str, Any]:
+        """Submit and block for the report (cache hits return immediately)."""
+        status = self.submit(circuit, config=config, timeout_s=timeout_s)
+        if status["state"] == DONE:
+            return self.result(status["job_id"])
+        return self.wait(status["job_id"], timeout=timeout)
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def wait_ready(self, timeout: float = 30.0) -> Dict[str, Any]:
+        """Poll ``/healthz`` until the daemon answers (boot handshake)."""
+        deadline = time.time() + timeout
+        last: Optional[ServiceError] = None
+        while time.time() < deadline:
+            try:
+                return self.healthz()
+            except ServiceError as exc:
+                last = exc
+                time.sleep(0.1)
+        raise ServiceError(
+            f"flow service at {self.base_url} not ready after {timeout:g}s"
+            + (f" (last error: {last})" if last else "")
+        )

@@ -1,0 +1,184 @@
+"""LogicNetwork.structural_hash: canonical, order-independent, pinned.
+
+The hash is the content-address of the service result cache, so the
+contract matters operationally: equal across ``clone()`` and the id
+renumbering of ``compact()``/``sweep``, different after any semantic
+edit, identical between two independent builds of the same registry
+circuit, and stable across processes (SHA-256 of canonical content, not
+``hash()``).
+"""
+
+import pytest
+
+from repro.circuits import TABLE1_ORDER, build, ripple_carry_adder
+from repro.network.cleanup import strash, sweep
+from repro.network.gates import Gate
+from repro.network.logic_network import LogicNetwork
+
+
+def _hex64(s: str) -> bool:
+    return len(s) == 64 and all(c in "0123456789abcdef" for c in s)
+
+
+class TestBasics:
+    def test_is_hex_sha256(self):
+        assert _hex64(ripple_carry_adder(4).structural_hash())
+
+    def test_deterministic_rebuild(self):
+        assert (
+            ripple_carry_adder(8).structural_hash()
+            == ripple_carry_adder(8).structural_hash()
+        )
+
+    def test_cached_call_is_stable(self):
+        net = ripple_carry_adder(8)
+        assert net.structural_hash() == net.structural_hash()
+
+    def test_different_widths_differ(self):
+        assert (
+            ripple_carry_adder(4).structural_hash()
+            != ripple_carry_adder(5).structural_hash()
+        )
+
+
+class TestInvariance:
+    def test_clone_preserves(self):
+        net = build("c6288", "ci")
+        assert net.clone().structural_hash() == net.structural_hash()
+
+    def test_compact_preserves(self):
+        net = ripple_carry_adder(8)
+        # create a dead node, then compact it away: live content unchanged
+        net.add_and(net.pis[0], net.pis[1])
+        h = net.structural_hash()
+        net.compact()
+        assert net.structural_hash() == h
+
+    def test_sweep_rebuild_preserves(self):
+        net = ripple_carry_adder(8)
+        h = net.structural_hash()
+        swept, _ = sweep(net)
+        assert swept.structural_hash() == h
+
+    def test_dead_node_does_not_contribute(self):
+        net = ripple_carry_adder(6)
+        h = net.structural_hash()
+        net.add_xor(net.pis[0], net.pis[1])  # dead: no PO reaches it
+        assert net.structural_hash() == h
+
+    def test_commutative_fanin_order_ignored(self):
+        a = LogicNetwork()
+        x, y = a.add_pi(), a.add_pi()
+        a.add_po(a.add_and(x, y))
+        b = LogicNetwork()
+        x, y = b.add_pi(), b.add_pi()
+        b.add_po(b.add_and(y, x))
+        assert a.structural_hash() == b.structural_hash()
+
+    def test_names_do_not_contribute(self):
+        a = ripple_carry_adder(4)
+        b = ripple_carry_adder(4)
+        b.set_name(b.pis[0], "renamed")
+        assert a.structural_hash() == b.structural_hash()
+
+
+class TestSemanticEdits:
+    def test_gate_kind_changes_hash(self):
+        a = LogicNetwork()
+        x, y = a.add_pi(), a.add_pi()
+        a.add_po(a.add_and(x, y))
+        b = LogicNetwork()
+        x, y = b.add_pi(), b.add_pi()
+        b.add_po(b.add_or(x, y))
+        assert a.structural_hash() != b.structural_hash()
+
+    def test_rewiring_changes_hash(self):
+        net = ripple_carry_adder(4)
+        h = net.structural_hash()
+        # rewire one PO's driver fanin to a different PI
+        po = net.pos[0]
+        old = net.fanins[po][0]
+        new = net.pis[-1] if net.pis[-1] != old else net.pis[0]
+        net.replace_fanin(po, old, new)
+        assert net.structural_hash() != h
+
+    def test_added_po_changes_hash(self):
+        net = ripple_carry_adder(4)
+        h = net.structural_hash()
+        net.add_po(net.add_and(net.pis[0], net.pis[1]))
+        assert net.structural_hash() != h
+
+    def test_po_rebinding_changes_hash(self):
+        net = ripple_carry_adder(4)
+        h = net.structural_hash()
+        net.substitute(net.pos[0], net.pis[0])
+        assert net.structural_hash() != h
+
+    def test_po_order_matters(self):
+        a = LogicNetwork()
+        x, y = a.add_pi(), a.add_pi()
+        g1, g2 = a.add_and(x, y), a.add_xor(x, y)
+        a.add_po(g1)
+        a.add_po(g2)
+        b = LogicNetwork()
+        x, y = b.add_pi(), b.add_pi()
+        g1, g2 = b.add_and(x, y), b.add_xor(x, y)
+        b.add_po(g2)
+        b.add_po(g1)
+        assert a.structural_hash() != b.structural_hash()
+
+    def test_noncommutative_fanin_order_matters(self):
+        # a MUX built from gates is order-sensitive through the NOT leg
+        a = LogicNetwork()
+        s, d0, d1 = a.add_pi(), a.add_pi(), a.add_pi()
+        a.add_po(a.add_mux(s, d0, d1))
+        b = LogicNetwork()
+        s, d0, d1 = b.add_pi(), b.add_pi(), b.add_pi()
+        b.add_po(b.add_mux(s, d1, d0))
+        assert a.structural_hash() != b.structural_hash()
+
+
+class TestT1Blocks:
+    def test_t1_cell_and_taps_hash(self):
+        def make(tap):
+            net = LogicNetwork()
+            a, b, c = net.add_pi(), net.add_pi(), net.add_pi()
+            cell = net.add_t1_cell(a, b, c)
+            net.add_po(net.add_t1_tap(cell, tap))
+            return net
+
+        assert (
+            make(Gate.T1_S).structural_hash()
+            == make(Gate.T1_S).structural_hash()
+        )
+        assert (
+            make(Gate.T1_S).structural_hash()
+            != make(Gate.T1_C).structural_hash()
+        )
+
+
+@pytest.mark.parametrize("name", TABLE1_ORDER)
+class TestRegistryPinned:
+    def test_rebuild_and_clone_and_compact_agree(self, name):
+        net = build(name, "ci")
+        h = net.structural_hash()
+        assert _hex64(h)
+        assert build(name, "ci").structural_hash() == h
+        clone = net.clone()
+        assert clone.structural_hash() == h
+        clone.compact()
+        assert clone.structural_hash() == h
+
+    def test_strash_preserves_when_structure_unchanged(self, name):
+        # strash folds/dedupes; on an already-consed rebuild of itself the
+        # result is a fixpoint, so hashing it twice must agree
+        net = build(name, "ci")
+        s1, _ = strash(net)
+        s2, _ = strash(s1)
+        assert s1.structural_hash() == s2.structural_hash()
+
+    def test_presets_differ(self, name):
+        assert (
+            build(name, "ci").structural_hash()
+            != build(name, "paper").structural_hash()
+        )

@@ -5,7 +5,13 @@ import pytest
 from repro.circuits import TABLE1_ORDER, build, ripple_carry_adder
 from repro.core import run_baselines_and_t1
 from repro.errors import PipelineError
-from repro.pipeline import Pipeline, baseline_pipelines, run_many, run_table
+from repro.pipeline import (
+    Pipeline,
+    baseline_pipelines,
+    run_many,
+    run_table,
+    warm_worker,
+)
 
 
 class TestRunMany:
@@ -87,6 +93,30 @@ class TestBaselinePipelines:
         pooled = run_baselines_and_t1(net, verify="none", jobs=2)
         for label in serial:
             assert serial[label].metrics == pooled[label].metrics
+
+
+class TestWarmWorker:
+    def test_prewarms_npn_and_t1_tables(self):
+        from repro.core.t1_matching import t1_match_table
+        from repro.network import npn
+
+        warm_worker()
+        # k<=3 canon tables and the T1 match table are now materialised;
+        # a second call is a cheap no-op against the same module caches
+        for k in (0, 1, 2, 3):
+            assert npn._npn_table(k) is npn._npn_table(k)
+        assert t1_match_table() is t1_match_table()
+        warm_worker()
+
+    def test_pool_results_unchanged_by_warm_initializer(self):
+        # run_many(jobs=2) routes through the warmed pool; parity with
+        # serial execution proves warming is observable only in latency
+        nets = [ripple_carry_adder(b) for b in (4, 6)]
+        pipe = Pipeline.standard(verify="none")
+        serial = run_many(nets, pipeline=pipe, jobs=1)
+        pooled = run_many(nets, pipeline=pipe, jobs=2)
+        for s, p in zip(serial, pooled):
+            assert s.metrics == p.metrics
 
 
 class TestStreaming:

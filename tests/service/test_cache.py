@@ -1,0 +1,99 @@
+"""ResultCache: LRU bounds, counters, copy isolation, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.service.cache import ResultCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_contains_and_len(self):
+        cache = ResultCache()
+        cache.put("a", {})
+        assert "a" in cache
+        assert "b" not in cache
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put("a", {})
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+
+class TestCopyIsolation:
+    def test_put_copies(self):
+        cache = ResultCache()
+        report = {"metrics": {"dffs": 1}}
+        cache.put("k", report)
+        report["metrics"]["dffs"] = 999
+        assert cache.get("k")["metrics"]["dffs"] == 1
+
+    def test_get_copies(self):
+        cache = ResultCache()
+        cache.put("k", {"metrics": {"dffs": 1}})
+        first = cache.get("k")
+        first["metrics"]["dffs"] = 999
+        first["cached"] = True  # what the server does before responding
+        assert cache.get("k") == {"metrics": {"dffs": 1}}
+
+
+class TestLru:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", {"n": 1})
+        cache.put("b", {"n": 2})
+        assert cache.get("a") is not None  # refresh a
+        cache.put("c", {"n": 3})  # evicts b
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_overwrite_does_not_evict(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", {"n": 1})
+        cache.put("a", {"n": 2})
+        cache.put("b", {"n": 3})
+        assert len(cache) == 2
+        assert cache.get("a") == {"n": 2}
+        assert cache.stats()["evictions"] == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_puts_and_gets(self):
+        cache = ResultCache(max_entries=64)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(200):
+                    key = f"k{(base + i) % 100}"
+                    cache.put(key, {"v": i})
+                    got = cache.get(key)
+                    assert got is None or "v" in got
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(b,)) for b in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 64

@@ -91,8 +91,65 @@ def test_unknown_benchmark():
 def test_parser_has_all_commands():
     parser = make_parser()
     text = parser.format_help()
-    for cmd in ("list", "run", "table", "fig1b"):
+    for cmd in ("list", "run", "table", "fig1b",
+                "serve", "submit", "status", "result"):
         assert cmd in text
+
+
+def test_run_json_strict_roundtrip(capsys):
+    """--json must emit the strict-JSON flow report, losslessly."""
+    from repro.circuits import build
+    from repro.io.json_report import strict_loads
+    from repro.pipeline import Pipeline
+
+    assert main(["run", "adder", "--preset", "ci", "--t1", "--json"]) == 0
+    out = capsys.readouterr().out
+    report = strict_loads(out)
+    assert report["schema"] == "repro-flow-report/v1"
+    assert report["benchmark"] == "adder"
+    assert report["config"]["use_t1"] is True
+    assert report["cached"] is False
+    ctx = Pipeline.standard().run(build("adder", "ci"))
+    assert report["metrics"]["dffs"] == ctx.metrics.num_dffs
+    assert report["metrics"]["area_jj"] == ctx.metrics.area_jj
+    assert report["t1"] == {"found": ctx.t1_found, "used": ctx.t1_used}
+
+
+def test_submit_against_live_daemon(capsys):
+    """submit/status/result verbs against an in-process daemon."""
+    from repro.io.json_report import strict_loads
+    from repro.service import FlowDaemon
+
+    daemon = FlowDaemon(port=0, workers=1, queue_size=4, job_timeout_s=60.0)
+    daemon.start()
+    try:
+        url = daemon.url
+        assert main(["submit", "adder", "--preset", "ci",
+                     "--verify", "none", "--url", url, "--wait"]) == 0
+        report = strict_loads(capsys.readouterr().out)
+        assert report["benchmark"] == "adder"
+        assert report["cached"] is False
+
+        # resubmission: status verb shows the synchronous cache hit
+        assert main(["submit", "adder", "--preset", "ci",
+                     "--verify", "none", "--url", url]) == 0
+        status = strict_loads(capsys.readouterr().out)
+        assert status["state"] == "done"
+        assert status["cached"] is True
+
+        assert main(["status", status["job_id"], "--url", url]) == 0
+        assert strict_loads(capsys.readouterr().out)["state"] == "done"
+        assert main(["result", status["job_id"], "--url", url]) == 0
+        cached_report = strict_loads(capsys.readouterr().out)
+        assert cached_report["metrics"] == report["metrics"]
+    finally:
+        daemon.stop()
+
+
+def test_client_verbs_error_cleanly_when_daemon_down(capsys):
+    url = "http://127.0.0.1:1"  # nothing listens on port 1
+    assert main(["status", "nojob", "--url", url]) == 2
+    assert "error:" in capsys.readouterr().err
 
 
 def test_table_accepts_blif_file(tmp_path, capsys):
