@@ -4,7 +4,9 @@ Measures the four axes the kernel refactor targets and writes the
 results to ``BENCH_kernel.json`` at the repository root, so every PR
 extends a measured perf trajectory instead of guessing:
 
-* **construction** — node append throughput on the registry generators;
+* **construction** — node append throughput on the registry generators,
+  plus a replay of each built netlist through ``add_gates_bulk`` vs the
+  per-call ``add_gate`` loop (the two paths the flat-array core offers);
 * **analysis caching** — cold vs warm ``topological_order``/``levels``
   (warm calls must be O(1) on an unchanged network);
 * **substitute scaling** — mean cost of ``substitute`` on a small vs a
@@ -43,7 +45,7 @@ from pathlib import Path
 from repro.circuits.registry import TABLE1_ORDER, build
 from repro.io.json_report import dump_json_report
 from repro.errors import NetworkError
-from repro.network import LogicNetwork, enumerate_cuts, refactor, balance
+from repro.network import Gate, LogicNetwork, enumerate_cuts, refactor, balance
 from repro.pipeline import Pipeline
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -64,10 +66,35 @@ def bench_construction(circuits, preset, failures):
         net = build(name, preset=preset)
         dt = time.perf_counter() - t0
         _check(net, f"construction:{name}", failures)
+
+        # replay the built netlist through both construction paths:
+        # the per-call add_gate loop and the single add_gates_bulk call
+        spec = [(net.gate(n), net.fanin(n)) for n in range(2, net.num_nodes())]
+        t0 = time.perf_counter()
+        per_call = LogicNetwork("replay")
+        for gate, fins in spec:
+            if not fins and gate is Gate.PI:
+                per_call.add_pi()
+            else:
+                per_call.add_gate(gate, fins)
+        dt_call = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        bulk = LogicNetwork("replay")
+        bulk.add_gates_bulk(spec)
+        dt_bulk = time.perf_counter() - t0
+        if bulk.gates != per_call.gates or bulk.fanins != per_call.fanins:
+            failures.append(
+                f"construction:{name}: bulk and per-call replays diverge"
+            )
+        _check(bulk, f"construction:{name}:bulk", failures)
+
         out[name] = {
             "nodes": net.num_nodes(),
             "seconds": round(dt, 6),
             "nodes_per_s": round(net.num_nodes() / dt) if dt > 0 else None,
+            "per_call_seconds": round(dt_call, 6),
+            "bulk_seconds": round(dt_bulk, 6),
+            "bulk_speedup": round(dt_call / dt_bulk, 2) if dt_bulk else None,
         }
     return out
 

@@ -1,0 +1,256 @@
+"""Scale benchmark: the flat-array core on 100k–1M-node synthetics.
+
+Builds the seeded synthetic generators (``repro.circuits.synthetic``)
+at large node counts and measures the bulk paths the struct-of-arrays
+kernel exists for, writing ``BENCH_scale.json`` at the repository root:
+
+* **construction** — ``add_gates_bulk`` vs the per-call
+  ``add_gate`` loop on the same netlist spec (nodes/s each, speedup);
+* **peak memory** — tracemalloc peak during bulk construction;
+* **sweep** — ``sweep()`` (clone + free-list compact) wall time;
+* **simulation** — the gate-grouped kernel vs the per-node
+  ``simulate_nodewise`` loop at width 64, warm (schedule built),
+  best-of-``repeats`` (nodes/s each, speedup).
+
+Timings are best-of-N *within one process*, so the two speedup ratios
+are machine-independent; with ``--ratchet`` (the CI perf-smoke mode)
+the 100k-node datapath must hold **bulk construction >= 2x per-call**
+and **grouped simulation >= 1.5x per-node** or the run exits non-zero.
+Kernel invariant failures always exit non-zero.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py             # + 1M run
+    PYTHONPATH=src python benchmarks/bench_scale.py --quick --ratchet
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import platform
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.circuits.synthetic import build_synthetic
+from repro.errors import NetworkError
+from repro.io.json_report import dump_json_report
+from repro.network import Gate, LogicNetwork, simulate, simulate_nodewise, sweep
+from repro.network.simulation import random_patterns
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: construction-ratchet floor (bulk vs per-call nodes/s)
+MIN_CONSTRUCTION_SPEEDUP = 2.0
+#: simulation-ratchet floor (grouped vs per-node nodes/s)
+MIN_SIMULATION_SPEEDUP = 1.5
+#: the circuit the ratchet is pinned to
+RATCHET_CIRCUIT = "datapath_100k"
+
+SIM_WIDTH = 64
+
+
+def _best_of(fn, repeats):
+    """Min-of-N with the collector paused, so GC pauses on the large
+    transient buffers don't turn the within-process ratios into noise."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            result = fn()
+            dt = time.perf_counter() - t0
+        finally:
+            gc.enable()
+        if best is None or dt < best:
+            best = dt
+    return best, result
+
+
+def _spec_of(net: LogicNetwork):
+    """The (gate, fanins) replay spec of a built network."""
+    return [(net.gate(n), net.fanin(n)) for n in range(2, net.num_nodes())]
+
+
+def _per_call_build(spec):
+    out = LogicNetwork("replay")
+    for gate, fins in spec:
+        if not fins and gate is Gate.PI:
+            out.add_pi()
+        else:
+            out.add_gate(gate, fins)
+    return out
+
+
+def _bulk_build(spec):
+    out = LogicNetwork("replay")
+    out.add_gates_bulk(spec)
+    return out
+
+
+def bench_circuit(name, scale, repeats, failures):
+    net = build_synthetic(name, scale)
+    spec = _spec_of(net)
+    n = len(spec)
+
+    bulk_s, bulk_net = _best_of(lambda: _bulk_build(spec), repeats)
+    per_call_s, per_call_net = _best_of(lambda: _per_call_build(spec), repeats)
+    if not (
+        bulk_net.gates == per_call_net.gates
+        and bulk_net.fanins == per_call_net.fanins
+    ):
+        failures.append(f"{name}: bulk and per-call construction diverge")
+    try:
+        bulk_net.check_invariants()
+    except NetworkError as exc:
+        failures.append(f"{name}: {exc}")
+
+    tracemalloc.start()
+    _bulk_build(spec)
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    t0 = time.perf_counter()
+    swept, _nm = sweep(net)
+    sweep_s = time.perf_counter() - t0
+    if swept.num_nodes() != net.num_nodes():
+        # every generator binds its sinks as POs, so nothing is dead
+        failures.append(f"{name}: sweep dropped nodes on a fully live net")
+
+    pats = random_patterns(len(net.pis), SIM_WIDTH, seed=7)
+    # warm both paths: grouped builds its schedule, nodewise its tuples
+    grouped0 = simulate(net, pats, SIM_WIDTH)
+    nodewise0 = simulate_nodewise(net, pats, SIM_WIDTH)
+    if grouped0 != nodewise0:
+        failures.append(f"{name}: grouped simulation diverges from nodewise")
+    sim_g_s, _ = _best_of(lambda: simulate(net, pats, SIM_WIDTH), repeats)
+    sim_n_s, _ = _best_of(
+        lambda: simulate_nodewise(net, pats, SIM_WIDTH), repeats
+    )
+
+    total = net.num_nodes()
+    return {
+        "nodes": total,
+        "gates": net.num_gates(),
+        "pis": len(net.pis),
+        "pos": len(net.pos),
+        "depth": net.depth(),
+        "construction": {
+            "bulk_seconds": round(bulk_s, 6),
+            "bulk_nodes_per_s": round(n / bulk_s),
+            "per_call_seconds": round(per_call_s, 6),
+            "per_call_nodes_per_s": round(n / per_call_s),
+            "bulk_speedup": round(per_call_s / bulk_s, 2),
+        },
+        "peak_memory_bytes": peak,
+        "peak_bytes_per_node": round(peak / total, 1),
+        "sweep_seconds": round(sweep_s, 6),
+        "simulation": {
+            "width": SIM_WIDTH,
+            "grouped_seconds": round(sim_g_s, 6),
+            "grouped_nodes_per_s": round(total / sim_g_s),
+            "nodewise_seconds": round(sim_n_s, 6),
+            "nodewise_nodes_per_s": round(total / sim_n_s),
+            "grouped_speedup": round(sim_n_s / sim_g_s, 2),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: skip the 1M-node run",
+    )
+    parser.add_argument(
+        "--ratchet", action="store_true",
+        help=f"fail if the {RATCHET_CIRCUIT} speedups fall below "
+             f"{MIN_CONSTRUCTION_SPEEDUP}x construction / "
+             f"{MIN_SIMULATION_SPEEDUP}x simulation",
+    )
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_scale.json"),
+        help="output JSON path (default: BENCH_scale.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    runs = [
+        ("datapath_100k", "datapath", 100_000),
+        ("cascade_100k", "cascade", 100_000),
+    ]
+    if not args.quick:
+        runs.append(("datapath_1m", "datapath", 1_000_000))
+
+    failures: list = []
+    circuits = {}
+    for key, gen, scale in runs:
+        circuits[key] = bench_circuit(gen, scale, args.repeats, failures)
+        c = circuits[key]
+        print(
+            f"{key:<14} {c['nodes']:>9,} nodes | "
+            f"build bulk {c['construction']['bulk_nodes_per_s']:>9,}/s "
+            f"({c['construction']['bulk_speedup']}x per-call) | "
+            f"sim grouped {c['simulation']['grouped_nodes_per_s']:>10,}/s "
+            f"({c['simulation']['grouped_speedup']}x nodewise) | "
+            f"peak {c['peak_memory_bytes'] / 1e6:.1f} MB"
+        )
+
+    ratchet = {
+        "circuit": RATCHET_CIRCUIT,
+        "min_construction_speedup": MIN_CONSTRUCTION_SPEEDUP,
+        "min_simulation_speedup": MIN_SIMULATION_SPEEDUP,
+        "construction_speedup": circuits[RATCHET_CIRCUIT]["construction"][
+            "bulk_speedup"
+        ],
+        "simulation_speedup": circuits[RATCHET_CIRCUIT]["simulation"][
+            "grouped_speedup"
+        ],
+    }
+    ratchet_failures = []
+    if ratchet["construction_speedup"] < MIN_CONSTRUCTION_SPEEDUP:
+        ratchet_failures.append(
+            f"bulk construction {ratchet['construction_speedup']}x "
+            f"< {MIN_CONSTRUCTION_SPEEDUP}x per-call"
+        )
+    if ratchet["simulation_speedup"] < MIN_SIMULATION_SPEEDUP:
+        ratchet_failures.append(
+            f"grouped simulation {ratchet['simulation_speedup']}x "
+            f"< {MIN_SIMULATION_SPEEDUP}x nodewise"
+        )
+    ratchet["ok"] = not ratchet_failures
+
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "repeats": args.repeats,
+        },
+        "circuits": circuits,
+        "ratchet": ratchet,
+        "invariants_ok": not failures,
+        "invariant_failures": failures,
+    }
+    dump_json_report(args.out, report)
+    print(f"wrote {args.out}")
+
+    if failures:
+        print("SCALE KERNEL FAILURES:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    if args.ratchet and ratchet_failures:
+        print("PERF RATCHET FAILURES:", file=sys.stderr)
+        for f in ratchet_failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

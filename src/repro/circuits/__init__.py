@@ -30,16 +30,25 @@ from repro.circuits.registry import (
     build,
     names,
 )
+from repro.circuits.synthetic import (
+    SYNTHETIC_BENCHMARKS,
+    build_synthetic,
+    lut_cascade,
+    random_datapath,
+    synthetic_names,
+)
 from repro.circuits.voter import majority_voter, popcount_bus
 
 __all__ = [
     "BenchmarkSpec",
     "Bus",
+    "SYNTHETIC_BENCHMARKS",
     "TABLE1_ORDER",
     "add_sub_bus",
     "benchmark_registry",
     "braun_multiplier",
     "build",
+    "build_synthetic",
     "c6288_like",
     "c7552_like",
     "compare_ge_bus",
@@ -54,8 +63,10 @@ __all__ = [
     "kogge_stone_adder_bus",
     "log2_network",
     "log2_reference",
+    "lut_cascade",
     "majority_voter",
     "names",
+    "random_datapath",
     "parity_tree",
     "popcount_bus",
     "ripple_carry_adder",
@@ -63,4 +74,5 @@ __all__ = [
     "shift_right_arith",
     "sin_float_of_output",
     "squarer",
+    "synthetic_names",
 ]

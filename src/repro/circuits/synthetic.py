@@ -1,0 +1,180 @@
+"""Scalable synthetic benchmark generators (the ``--scale`` family).
+
+The 8-circuit :mod:`repro.circuits.registry` is the pinned oracle set —
+bit-identical across kernel migrations and deliberately capped at a few
+thousand nodes.  These generators are the complement: seeded,
+size-parameterised netlists for exercising the flat-array network core
+and the bulk construction/simulation paths at 100k–1M nodes.  They are
+*not* registered in ``benchmark_registry``; the CLI exposes them behind
+``--scale`` and the scale benchmark (``benchmarks/bench_scale.py``)
+builds them directly.
+
+Both generators drive :meth:`LogicNetwork.add_gates_bulk` with
+batch-relative fanin ids, so constructing a million-node circuit is one
+bulk call, and both are deterministic functions of ``(size, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.network.gates import Gate
+from repro.network.logic_network import LogicNetwork
+
+#: weighted gate mix of the random datapath: heavy on 2-input gates with
+#: a tail of 3-input and variadic shapes so every grouped-simulation lane
+#: (2/3/variadic x and/or/xor/maj x plain/inverted, plus NOT) gets work
+_DATAPATH_MIX: Tuple[Tuple[Gate, int, int], ...] = (
+    (Gate.AND, 2, 18),
+    (Gate.OR, 2, 14),
+    (Gate.XOR, 2, 14),
+    (Gate.NAND, 2, 8),
+    (Gate.NOR, 2, 6),
+    (Gate.XNOR, 2, 6),
+    (Gate.NOT, 1, 8),
+    (Gate.MAJ3, 3, 8),
+    (Gate.AND, 3, 4),
+    (Gate.OR, 3, 4),
+    (Gate.XOR, 3, 4),
+    (Gate.AND, 4, 2),
+    (Gate.OR, 4, 2),
+    (Gate.XOR, 5, 1),
+    (Gate.NAND, 6, 1),
+)
+
+
+def _bind_sink_pos(net: LogicNetwork) -> None:
+    """Bind every zero-fanout logic node as a PO (keeps the net live)."""
+    for node in range(2, net.num_nodes()):
+        if net.is_logic(node) and net.fanout_count(node) == 0:
+            net.add_po(node, f"po{len(net.pos)}")
+
+
+def random_datapath(
+    n_nodes: int = 100_000,
+    n_pis: int = 64,
+    seed: int = 0,
+    window: int = 512,
+) -> LogicNetwork:
+    """Seeded random datapath-like network of roughly *n_nodes* nodes.
+
+    Gate kinds follow :data:`_DATAPATH_MIX`; fanins are drawn from a
+    sliding locality *window* of recently created nodes (with the PIs
+    always reachable), which mimics the short-wire locality of real
+    datapaths and keeps logic depth growing with size.  Every sink node
+    becomes a PO, so the whole network is live (``sweep`` is a no-op).
+    """
+    if n_pis < 4:
+        raise ReproError("random_datapath needs at least 4 PIs")
+    n_gates = n_nodes - 2 - n_pis
+    if n_gates < 1:
+        raise ReproError(f"n_nodes={n_nodes} leaves no room for gates")
+    rng = random.Random(f"datapath:{n_pis}:{seed}")
+    net = LogicNetwork(f"datapath_{n_nodes}_s{seed}")
+    pi_ids = [net.add_pi(f"pi{i}") for i in range(n_pis)]
+    base = net.num_nodes()
+    mix: List[Tuple[Gate, int]] = []
+    for gate, arity, weight in _DATAPATH_MIX:
+        mix.extend([(gate, arity)] * weight)
+    avail: List[int] = list(pi_ids)
+    items: List[Tuple[Gate, Tuple[int, ...]]] = []
+    for j in range(n_gates):
+        gate, arity = mix[rng.randrange(len(mix))]
+        candidates = avail[-window:] if len(avail) > window else avail
+        if arity > len(candidates):
+            arity = len(candidates)
+            if arity < 2:
+                gate, arity = Gate.NOT, 1
+        fins = tuple(rng.sample(candidates, arity))
+        items.append((gate, fins))
+        avail.append(base + j)
+    net.add_gates_bulk(items)
+    _bind_sink_pos(net)
+    return net
+
+
+def lut_cascade(
+    width: int = 256,
+    depth: int = 400,
+    k: int = 4,
+    seed: int = 0,
+) -> LogicNetwork:
+    """Layered k-input cascade: *depth* layers of *width* random gates.
+
+    Each node draws ``k`` distinct fanins from the previous layer (three
+    for MAJ3), with an occasional skip connection two layers back, so
+    the network has the rigid level structure of a k-LUT cascade —
+    the stress shape for the per-level grouped simulation lanes.  The
+    last layer's nodes are the POs.
+    """
+    if width < max(k, 4):
+        raise ReproError(f"width {width} too small for k={k}")
+    rng = random.Random(f"cascade:{width}:{k}:{seed}")
+    net = LogicNetwork(f"cascade_{width}x{depth}_k{k}_s{seed}")
+    prev = [net.add_pi(f"pi{i}") for i in range(width)]
+    before = list(prev)
+    base = net.num_nodes()
+    items: List[Tuple[Gate, Tuple[int, ...]]] = []
+    families = (
+        Gate.AND, Gate.OR, Gate.XOR, Gate.NAND,
+        Gate.NOR, Gate.XNOR, Gate.MAJ3,
+    )
+    pseudo = base
+    for _layer in range(depth):
+        layer_ids: List[int] = []
+        for _ in range(width):
+            gate = families[rng.randrange(len(families))]
+            arity = 3 if gate is Gate.MAJ3 else k
+            fins = rng.sample(prev, arity)
+            if before is not prev and rng.randrange(8) == 0:
+                fins[rng.randrange(arity)] = before[rng.randrange(width)]
+            items.append((gate, tuple(fins)))
+            layer_ids.append(pseudo)
+            pseudo += 1
+        before = prev
+        prev = layer_ids
+    out = net.add_gates_bulk(items)
+    id_of = {base + j: node for j, node in enumerate(out)}
+    for i, p in enumerate(prev):
+        net.add_po(id_of[p], f"po{i}")
+    # mid-layer nodes the sampling never consumed become POs as well,
+    # so the cascade is fully live (sweep is a no-op)
+    _bind_sink_pos(net)
+    return net
+
+
+def _sized_cascade(scale: int, seed: int) -> LogicNetwork:
+    width = 256
+    depth = max(1, round((scale - 2 - width) / width))
+    return lut_cascade(width=width, depth=depth, seed=seed)
+
+
+#: name -> builder(scale, seed); the --scale generator family
+SYNTHETIC_BENCHMARKS: Dict[str, Callable[[int, int], LogicNetwork]] = {
+    "datapath": lambda scale, seed: random_datapath(n_nodes=scale, seed=seed),
+    "cascade": _sized_cascade,
+}
+
+SYNTHETIC_DESCRIPTIONS: Dict[str, str] = {
+    "datapath": "seeded random datapath (locality-windowed gate mix)",
+    "cascade": "layered k-input cascade (256-wide, depth from --scale)",
+}
+
+
+def synthetic_names() -> List[str]:
+    """Names of the --scale synthetic generators, sorted."""
+    return sorted(SYNTHETIC_BENCHMARKS)
+
+
+def build_synthetic(name: str, scale: int, seed: int = 0) -> LogicNetwork:
+    """Instantiate one synthetic generator at roughly *scale* nodes."""
+    builder = SYNTHETIC_BENCHMARKS.get(name)
+    if builder is None:
+        raise ReproError(
+            f"unknown synthetic benchmark {name!r}; known: {synthetic_names()}"
+        )
+    if scale < 16:
+        raise ReproError(f"--scale {scale} is too small (minimum 16)")
+    return builder(scale, seed)

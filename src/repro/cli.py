@@ -43,7 +43,18 @@ def _open_netlist(source: str):
         raise ReproError(f"cannot read {source!r}: {exc}") from exc
 
 
-def _load_network(source: str, preset: str) -> LogicNetwork:
+def _load_network(
+    source: str, preset: str, scale: Optional[int] = None
+) -> LogicNetwork:
+    if scale is not None:
+        from repro.circuits.synthetic import SYNTHETIC_BENCHMARKS, build_synthetic
+
+        if source in SYNTHETIC_BENCHMARKS:
+            return build_synthetic(source, scale)
+        raise SystemExit(
+            f"--scale only applies to synthetic benchmarks "
+            f"({', '.join(sorted(SYNTHETIC_BENCHMARKS))}), not {source!r}"
+        )
     if source in benchmark_registry:
         return build(source, preset)
     if source.endswith(".blif"):
@@ -62,11 +73,19 @@ def _load_network(source: str, preset: str) -> LogicNetwork:
     )
 
 
-def _cmd_list(_args) -> int:
+def _cmd_list(args) -> int:
     print(f"{'name':<12} description")
     print("-" * 60)
     for name in names():
         print(f"{name:<12} {benchmark_registry[name].description}")
+    if getattr(args, "scale", False):
+        from repro.circuits.synthetic import SYNTHETIC_DESCRIPTIONS
+
+        print()
+        print(f"{'synthetic':<12} (size-parameterised; use run <name> --scale N)")
+        print("-" * 60)
+        for name in sorted(SYNTHETIC_DESCRIPTIONS):
+            print(f"{name:<12} {SYNTHETIC_DESCRIPTIONS[name]}")
     return 0
 
 
@@ -90,7 +109,7 @@ def _run_config(args) -> dict:
 def _cmd_run(args) -> int:
     from repro.service.protocol import build_pipeline
 
-    net = _load_network(args.benchmark, args.preset)
+    net = _load_network(args.benchmark, args.preset, getattr(args, "scale", None))
     config = _run_config(args)
     pipeline = build_pipeline(config)
     ctx = pipeline.run(net)
@@ -246,9 +265,12 @@ def make_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list registered benchmarks").set_defaults(
-        fn=_cmd_list
+    list_p = sub.add_parser("list", help="list registered benchmarks")
+    list_p.add_argument(
+        "--scale", action="store_true",
+        help="also list the size-parameterised synthetic generators",
     )
+    list_p.set_defaults(fn=_cmd_list)
 
     def add_flow_args(p_):
         """The flow knobs shared by ``run`` and ``submit``."""
@@ -284,6 +306,11 @@ def make_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run one flow on one circuit")
     add_flow_args(run_p)
+    run_p.add_argument(
+        "--scale", type=int, default=None, metavar="N",
+        help="build the named synthetic generator at ~N nodes instead of "
+             "a registry benchmark (see `list --scale`)",
+    )
     run_p.add_argument("--dot", help="write the staged netlist as DOT")
     run_p.add_argument("--energy", action="store_true",
                        help="print the RSFQ energy/power estimate")

@@ -147,24 +147,28 @@ def read_bench(fh: TextIO) -> LogicNetwork:
         ins = [t.strip() for t in m.group("ins").split(",") if t.strip()]
         pending.append((lineno, m.group("out"), gate, ins))
 
-    # resolve in dependency order
+    # resolve in dependency order, one bulk append per pass; signals
+    # defined earlier in the same pass are referenced by their pending
+    # batch id (base + index), so node order matches a per-call loop
     remaining = pending
-    progress = True
-    while remaining and progress:
-        progress = False
+    while remaining:
+        base = net.num_nodes()
+        batch: List[Tuple[Gate, List[int]]] = []
+        batch_outs: List[str] = []
+        local: Dict[str, int] = {}
         still = []
         for lineno, out, gate, ins in remaining:
-            if all(i in signals for i in ins):
-                fins = [signals[i] for i in ins]
-                if gate is Gate.BUF:
-                    signals[out] = net.add_buf(fins[0])
-                elif gate is Gate.NOT:
-                    signals[out] = net.add_not(fins[0])
-                else:
-                    signals[out] = net.add_gate(gate, fins)
-                progress = True
+            if all(i in local or i in signals for i in ins):
+                fins = [local[i] if i in local else signals[i] for i in ins]
+                local[out] = base + len(batch)
+                batch.append((gate, fins))
+                batch_outs.append(out)
             else:
                 still.append((lineno, out, gate, ins))
+        if not batch:
+            break
+        for out, node in zip(batch_outs, net.add_gates_bulk(batch)):
+            signals[out] = node
         remaining = still
     if remaining:
         missing = sorted(

@@ -35,6 +35,7 @@ from repro.network.simulation import (
     random_patterns,
     simulate,
     simulate_exhaustive,
+    simulate_nodewise,
     simulate_pos,
     simulate_words,
 )
@@ -143,6 +144,7 @@ __all__ = [
     "simulate",
     "simulate_equivalence",
     "simulate_exhaustive",
+    "simulate_nodewise",
     "simulate_pos",
     "simulate_words",
     "strash",

@@ -57,6 +57,21 @@ class Gate(enum.Enum):
 #: taps reading one synchronous output of a T1 cell
 T1_TAPS: Tuple[Gate, ...] = (Gate.T1_S, Gate.T1_C, Gate.T1_Q, Gate.T1_CN, Gate.T1_QN)
 
+#: dense integer codes for the flat-array network core: ``GATES_BY_CODE[c]``
+#: is the enum member stored as byte ``c`` in ``LogicNetwork``'s gate
+#: bytearray, and ``CODE_BY_GATE`` is the inverse.  Codes are the enum's
+#: declaration order; they are an in-memory representation detail, never
+#: serialized (files and hashes use gate *names*).
+GATES_BY_CODE: Tuple[Gate, ...] = tuple(Gate)
+CODE_BY_GATE: Dict[Gate, int] = {g: i for i, g in enumerate(GATES_BY_CODE)}
+
+#: code-level sets mirroring the enum-level predicates, for loops that
+#: run over the raw gate-code bytearray
+T1_TAP_CODES = frozenset(CODE_BY_GATE[g] for g in T1_TAPS)
+SOURCE_CODES = frozenset(
+    CODE_BY_GATE[g] for g in (Gate.CONST0, Gate.CONST1, Gate.PI)
+)
+
 #: gates whose SFQ realisation is clocked (participates in stage assignment)
 CLOCKED_GATES = frozenset(
     {

@@ -2,24 +2,42 @@
 
 Design notes
 ------------
-* Nodes are integer handles into parallel arrays (compact, fast in pure
-  Python).  Node 0 is CONST0 and node 1 is CONST1; they always exist.
-* Fanins are stored as tuples of node ids.  The network is append-only for
-  nodes; fanin tuples can be rewritten via :meth:`substitute` /
-  :meth:`replace_fanin`, and unreferenced nodes are removed by
-  :meth:`compact` (in place, emitting a
-  :class:`~repro.network.nodemap.NodeMap`) or by the
-  :func:`repro.network.cleanup.sweep` wrapper.
+* Nodes are integer handles into **struct-of-arrays storage**: gate kinds
+  live in one ``bytearray`` of :data:`~repro.network.gates.CODE_BY_GATE`
+  codes, fanins in CSR form (one flat ``array('q')`` fanin pool plus
+  per-node offset/degree arrays), and reference counts in a parallel
+  ``array('q')``.  Node 0 is CONST0 and node 1 is CONST1; they always
+  exist.  A 100k–1M-node netlist is a handful of arrays, not a million
+  boxed objects.
+* ``net.gates`` and ``net.fanins`` are **lazy compatibility views** over
+  those arrays: ``net.gates[i]`` is still the :class:`Gate` enum member
+  and ``net.fanins[i]`` is still a tuple of fanin ids (materialised on
+  first access and cached until that node mutates), and both compare /
+  iterate like the lists they used to be.  Code that only reads stays
+  source-compatible; hot loops can bind the view once or go array-native.
+* Fanin tuples are rewritten via :meth:`substitute` /
+  :meth:`replace_fanin` (degree-preserving, in place in the pool);
+  unreferenced nodes are removed by :meth:`compact` (pointer fix-up over
+  the arrays, emitting a :class:`~repro.network.nodemap.NodeMap`) or by
+  the :func:`repro.network.cleanup.sweep` wrapper.
 * **Incrementally maintained indices**: the kernel keeps a fanout index
   (consumer -> multiplicity per node) and structural reference counts in
   sync across every mutation, so :meth:`substitute` costs O(fanout of the
   replaced node) instead of a full network scan, and fanout queries never
-  rescan the edge list.
+  rescan the edge list.  A maintained **free-list** (the exact set of
+  zero-fanout non-source nodes) seeds :meth:`compact`'s liveness cascade,
+  so dead-node removal is refcount propagation over int arrays rather
+  than a reachability set walk plus list rebuilds.
 * **Mutation epoch + cached analyses**: every structural mutation bumps
   ``epoch``; topological order, levels and materialised fanout lists are
   cached per epoch, so repeated :meth:`topological_order` /
   :meth:`levels` / :meth:`depth` calls on an unchanged network are O(1).
-  Treat the returned lists as immutable — they are shared with the cache.
+  Both run array-native (iterative Kahn over the CSR arrays).  Treat the
+  returned lists as immutable — they are shared with the cache.
+* **Bulk construction**: :meth:`add_gates_bulk` appends (and with
+  ``hash_cons=True`` hash-conses) a whole netlist in one call — one epoch
+  bump, no per-call dispatch — and is what the scalable circuit
+  generators and the ``.bench``/``.blif`` readers feed.
 * **Hash-consed construction** (``hash_cons=True``): ``add_gate`` folds
   constants/aliases (same rules as ``strash``), collapses double
   negation, canonicalises commutative fanins and returns the existing id
@@ -31,15 +49,29 @@ Design notes
   use :meth:`topological_order`.
 * The T1 cell is a multi-output block: a ``T1_CELL`` node plus tap nodes
   (see :mod:`repro.network.gates`).
+
+The pre-flat tuple-layout kernel is retained verbatim as
+:class:`repro.network.logic_network_reference.ReferenceLogicNetwork` and
+pinned against this implementation by randomized differential fuzz.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from array import array
+from itertools import accumulate
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import CycleError, NetworkError
-from repro.network.gates import Gate, check_arity, is_t1_tap
+from repro.network.gates import (
+    CODE_BY_GATE,
+    GATES_BY_CODE,
+    Gate,
+    SOURCE_CODES,
+    T1_TAP_CODES,
+    check_arity,
+    is_t1_tap,
+)
 from repro.network.nodemap import NodeMap
 
 CONST0 = 0
@@ -49,6 +81,15 @@ CONST1 = 1
 _COMMUTATIVE = frozenset(
     {Gate.AND, Gate.OR, Gate.XOR, Gate.NAND, Gate.NOR, Gate.XNOR, Gate.MAJ3}
 )
+_COMMUTATIVE_CODES = frozenset(CODE_BY_GATE[g] for g in _COMMUTATIVE)
+
+_C_CONST0 = CODE_BY_GATE[Gate.CONST0]
+_C_CONST1 = CODE_BY_GATE[Gate.CONST1]
+_C_PI = CODE_BY_GATE[Gate.PI]
+_C_NOT = CODE_BY_GATE[Gate.NOT]
+_C_T1_CELL = CODE_BY_GATE[Gate.T1_CELL]
+#: codes excluded from num_gates (sources and zero-area taps)
+_NONGATE_CODES = SOURCE_CODES | T1_TAP_CODES
 
 
 def fold_gate(gate: Gate, fins: Tuple[int, ...]) -> Optional[Tuple[str, object]]:
@@ -141,15 +182,126 @@ def fold_gate(gate: Gate, fins: Tuple[int, ...]) -> Optional[Tuple[str, object]]
     return None
 
 
+class GateView:
+    """Sequence view of the gate-code bytearray as :class:`Gate` members.
+
+    Backed directly by the network's storage: always current, zero-copy.
+    Supports indexing (int and slice), iteration, ``len`` and equality
+    against any sequence of gates — the operations the old
+    ``List[Gate]`` attribute supported for readers.  It is not a list:
+    do not append to it or assign elements (mutate the network through
+    its mutators instead).
+    """
+
+    __slots__ = ("_codes",)
+
+    def __init__(self, codes: bytearray):
+        self._codes = codes
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [GATES_BY_CODE[c] for c in self._codes[index]]
+        return GATES_BY_CODE[self._codes[index]]
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return map(GATES_BY_CODE.__getitem__, self._codes)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, GateView):
+            return self._codes == other._codes
+        try:
+            if len(other) != len(self._codes):
+                return False
+            return all(a is b for a, b in zip(self, other))
+        except TypeError:
+            return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]  # mutable view, like a list
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GateView({list(self)!r})"
+
+
+class FaninView:
+    """Sequence view of the CSR fanin arrays as per-node id tuples.
+
+    ``view[i]`` materialises node *i*'s fanin tuple from the flat pool on
+    first access and caches it until that node's fanins mutate, so
+    repeated reads cost one list index — large bulk-built networks never
+    pay for tuples they do not touch.  Item assignment writes through to
+    the pool (relocating the node's span when the arity changes) but, as
+    before the flat core, bypasses the maintained fanout/refcount
+    indices — it exists for tests that deliberately break the DAG;
+    real mutations must go through the kernel mutators.
+    """
+
+    __slots__ = ("_off", "_deg", "_pool", "_tuples")
+
+    def __init__(self, off: array, deg: array, pool: array, tuples: List):
+        self._off = off
+        self._deg = deg
+        self._pool = pool
+        self._tuples = tuples
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self._tuples)))]
+        t = self._tuples[index]
+        if t is None:
+            o = self._off[index]
+            t = tuple(self._pool[o : o + self._deg[index]])
+            self._tuples[index] = t
+        return t
+
+    def __setitem__(self, index: int, fins) -> None:
+        fins = tuple(fins)
+        if index < 0:
+            index += len(self._tuples)
+        d = self._deg[index]
+        if len(fins) == d:
+            o = self._off[index]
+            self._pool[o : o + d] = array("q", fins)
+        else:  # arity change: relocate the span to the end of the pool
+            self._off[index] = len(self._pool)
+            self._deg[index] = len(fins)
+            self._pool.extend(fins)
+        self._tuples[index] = fins
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self):
+        for i in range(len(self._tuples)):
+            yield self[i]
+
+    def __eq__(self, other) -> bool:
+        try:
+            if len(other) != len(self._tuples):
+                return False
+            return all(a == b for a, b in zip(self, other))
+        except TypeError:
+            return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]  # mutable view, like a list
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaninView({list(self)!r})"
+
+
 class LogicNetwork:
     """A combinational logic network with maintained analysis indices.
 
     Attributes
     ----------
     gates:
-        ``gates[i]`` is the :class:`Gate` kind of node ``i``.
+        :class:`GateView`; ``gates[i]`` is the :class:`Gate` kind of node
+        ``i`` (stored as one byte in the flat core).
     fanins:
-        ``fanins[i]`` is the tuple of fanin node ids of node ``i``.
+        :class:`FaninView`; ``fanins[i]`` is the tuple of fanin node ids
+        of node ``i`` (stored as a CSR span in the flat fanin pool).
     epoch:
         Mutation counter; bumped by every structural change.  Analyses
         cached against an epoch stay valid while it is unchanged.
@@ -157,16 +309,28 @@ class LogicNetwork:
 
     def __init__(self, name: str = "top", *, hash_cons: bool = False):
         self.name = name
-        self.gates: List[Gate] = [Gate.CONST0, Gate.CONST1]
-        self.fanins: List[Tuple[int, ...]] = [(), ()]
+        # struct-of-arrays storage --------------------------------------------
+        # NOTE: these containers are mutated in place and never rebound —
+        # the gates/fanins views alias them for the network's lifetime.
+        self._codes: bytearray = bytearray((_C_CONST0, _C_CONST1))
+        self._off: array = array("q", (0, 0))
+        self._deg: array = array("q", (0, 0))
+        self._pool: array = array("q")
+        self._tuples: List[Optional[Tuple[int, ...]]] = [(), ()]
+        self._gate_view = GateView(self._codes)
+        self._fanin_view = FaninView(self._off, self._deg, self._pool, self._tuples)
         self._pis: List[int] = []
         self._pos: List[int] = []
         self._po_names: List[Optional[str]] = []
         self._names: Dict[int, str] = {}
         # maintained indices ---------------------------------------------------
         self._fanout: List[Dict[int, int]] = [{}, {}]  # consumer -> multiplicity
-        self._struct_refs: List[int] = [0, 0]  # fanin references (POs excluded)
+        self._struct_refs: array = array("q", (0, 0))  # fanin refs (POs excluded)
         self._po_pos: Dict[int, List[int]] = {}  # node -> indices into _pos
+        #: free-list: exact set of nodes with zero fanout_count that are
+        #: not sources (constants/PIs are never collectable) — the seeds
+        #: of compact()'s liveness cascade
+        self._free: Set[int] = set()
         self._epoch: int = 0
         # per-epoch analysis caches -------------------------------------------
         self._topo_cache: Optional[List[int]] = None
@@ -177,6 +341,9 @@ class LogicNetwork:
         self._fanout_lists_epoch: int = -1
         self._shash_cache: Optional[str] = None
         self._shash_key: Optional[Tuple] = None
+        # gate-grouped simulation schedule (built by repro.network.simulation)
+        self._sim_schedule: Optional[list] = None
+        self._sim_schedule_epoch: int = -1
         # hash-consing ---------------------------------------------------------
         self._hash_cons: bool = hash_cons
         self._hash_table: Dict[Tuple, int] = {}
@@ -193,6 +360,33 @@ class LogicNetwork:
         """Whether ``add_gate`` deduplicates and folds at creation."""
         return self._hash_cons
 
+    @property
+    def gates(self) -> GateView:
+        """Per-node gate kinds (live :class:`GateView` over the byte codes)."""
+        return self._gate_view
+
+    @property
+    def fanins(self) -> FaninView:
+        """Per-node fanin tuples (live :class:`FaninView` over the CSR pool)."""
+        return self._fanin_view
+
+    @property
+    def gate_codes(self) -> bytearray:
+        """Raw per-node gate codes (see :data:`repro.network.gates.GATES_BY_CODE`).
+
+        Array-native consumers may read this directly; treat it as
+        immutable.
+        """
+        return self._codes
+
+    def fanin_arrays(self) -> Tuple[array, array, array]:
+        """The raw CSR fanin storage ``(offsets, degrees, pool)``.
+
+        Node ``i``'s fanins are ``pool[offsets[i] : offsets[i] + degrees[i]]``.
+        Shared with the kernel — treat all three as immutable.
+        """
+        return self._off, self._deg, self._pool
+
     def set_hash_cons(self, enabled: bool) -> None:
         """Toggle hash-consed construction.
 
@@ -207,19 +401,15 @@ class LogicNetwork:
 
     def num_nodes(self) -> int:
         """Total node count including constants, PIs and taps."""
-        return len(self.gates)
+        return len(self._codes)
 
     def nodes(self) -> Iterator[int]:
-        return iter(range(len(self.gates)))
+        return iter(range(len(self._codes)))
 
     def num_gates(self) -> int:
         """Count of logic nodes (excludes constants, PIs and T1 taps)."""
-        skip = (Gate.CONST0, Gate.CONST1, Gate.PI)
-        return sum(
-            1
-            for g in self.gates
-            if g not in skip and not is_t1_tap(g)
-        )
+        nongate = _NONGATE_CODES
+        return sum(1 for c in self._codes if c not in nongate)
 
     @property
     def pis(self) -> Tuple[int, ...]:
@@ -237,22 +427,32 @@ class LogicNetwork:
 
     def _append_node(self, gate: Gate, fanins: Tuple[int, ...]) -> int:
         """Unconditionally append one node and maintain the indices."""
-        self.gates.append(gate)
-        self.fanins.append(fanins)
+        code = CODE_BY_GATE[gate]
+        node = len(self._codes)
+        self._codes.append(code)
+        self._off.append(len(self._pool))
+        self._deg.append(len(fanins))
+        self._pool.extend(fanins)
+        self._tuples.append(fanins)
         self._fanout.append({})
         self._struct_refs.append(0)
-        node = len(self.gates) - 1
+        free = self._free
+        if code != _C_PI:
+            free.add(node)
+        refs = self._struct_refs
         for f in fanins:
             out = self._fanout[f]
             out[node] = out.get(node, 0) + 1
-            self._struct_refs[f] += 1
+            refs[f] += 1
+            free.discard(f)
         self._epoch += 1
         return node
 
     def _new_node(self, gate: Gate, fanins: Tuple[int, ...]) -> int:
         check_arity(gate, len(fanins))
+        n = len(self._codes)
         for f in fanins:
-            if not 0 <= f < len(self.gates):
+            if not 0 <= f < n:
                 raise NetworkError(f"fanin {f} does not exist")
         return self._append_node(gate, fanins)
 
@@ -268,8 +468,8 @@ class LogicNetwork:
             if kind == "alias":
                 return payload  # type: ignore[return-value]
             gate, fins = payload  # type: ignore[assignment]
-        if gate is Gate.NOT and self.gates[fins[0]] is Gate.NOT:
-            return self.fanins[fins[0]][0]  # double negation
+        if gate is Gate.NOT and self._codes[fins[0]] == _C_NOT:
+            return self._pool[self._off[fins[0]]]  # double negation
         if gate in _COMMUTATIVE:
             fins = tuple(sorted(fins))
         key = (gate, fins)
@@ -300,12 +500,13 @@ class LogicNetwork:
             raise NetworkError("use add_t1_cell() for T1 blocks")
         fins = tuple(fanins)
         check_arity(gate, len(fins))
+        n = len(self._codes)
         for f in fins:
-            if not 0 <= f < len(self.gates):
+            if not 0 <= f < n:
                 raise NetworkError(f"fanin {f} does not exist")
         if is_t1_tap(gate):
             cell = fins[0]
-            if self.gates[cell] is not Gate.T1_CELL:
+            if self._codes[cell] != _C_T1_CELL:
                 raise NetworkError("T1 tap fanin must be a T1_CELL node")
             if self._hash_cons:
                 key = (gate, fins)
@@ -320,11 +521,162 @@ class LogicNetwork:
             return self._emit_hashed(gate, fins)
         return self._append_node(gate, fins)
 
+    def add_gates_bulk(
+        self, items: Iterable[Tuple[Gate, Sequence[int]]]
+    ) -> List[int]:
+        """Append a whole netlist of nodes in one call.
+
+        ``items`` yields ``(gate, fanins)`` pairs; a fanin id ``>= the
+        node count at entry`` refers to the *j*-th batch item's result
+        (``j = id - base``), i.e. the id it would receive without
+        hash-consing — so generators can precompute ids and the batch
+        stays a plain data structure.  ``Gate.PI`` entries (empty
+        fanins) and T1 cells/taps are allowed; POs are not (bind them
+        after the call).
+
+        Returns the resolved node id per item.  Without ``hash_cons``
+        this is the flat fast path: the batch accumulates in local
+        buffers and commits to the struct-of-arrays with a handful of
+        bulk extends and one epoch bump, producing a network
+        node-for-node identical to the equivalent ``add_gate``/
+        ``add_pi`` loop — and the batch is atomic: a bad item leaves
+        the network untouched.  With ``hash_cons`` items are folded/
+        deduped exactly as ``add_gate`` would (per-item, not atomic),
+        and the returned ids reflect the folding.
+        """
+        out_ids: List[int] = []
+        base = len(self._codes)
+        if self._hash_cons:
+            for gate, fins in items:
+                tfins = tuple(
+                    out_ids[f - base] if f >= base else f for f in fins
+                )
+                if gate is Gate.PI:
+                    if tfins:
+                        raise NetworkError("PI takes no fanins")
+                    out_ids.append(self.add_pi())
+                elif gate is Gate.T1_CELL:
+                    check_arity(gate, len(tfins))
+                    out_ids.append(self.add_t1_cell(*tfins))
+                else:
+                    out_ids.append(self.add_gate(gate, tfins))
+            return out_ids
+
+        codes = self._codes
+        fout = self._fanout
+        refs = self._struct_refs
+        code_by_gate = CODE_BY_GATE
+        tap_codes = T1_TAP_CODES
+        # batch accumulators — committed with bulk extends on success
+        acc_codes = bytearray()
+        acc_deg: List[int] = []
+        acc_pool: List[int] = []
+        new_fout: List[Dict[int, int]] = []
+        new_pis: List[int] = []
+        #: pre-batch fanin -> {consumer: multiplicity}; merged at commit
+        #: so a failed batch leaves the maintained indices untouched
+        pre_fout: Dict[int, Dict[int, int]] = {}
+        #: batch index -> duplicate-edge surplus, so commit can compute
+        #: refcounts with ``len(fanout_dict)`` instead of summing values
+        dup_refs: Dict[int, int] = {}
+        # per-enum memos: id() keys hash in C, Gate.__hash__ does not;
+        # (gate, arity) validation shares the same int-keyed set
+        code_memo: Dict[int, int] = {}
+        arity_ok: Set[int] = set()
+        put_code = acc_codes.append
+        put_deg = acc_deg.append
+        put_pool = acc_pool.extend
+        put_fout = new_fout.append
+        get_code = code_memo.get
+        node = base
+        try:
+            for gate, fins in items:
+                nf = len(fins)
+                gkey = id(gate)
+                code = get_code(gkey)
+                if code is None:
+                    code = code_memo[gkey] = code_by_gate[gate]
+                akey = (gkey << 5) | nf  # arity <= MAX_VARIADIC_ARITY < 32
+                if akey not in arity_ok:
+                    check_arity(gate, nf)
+                    arity_ok.add(akey)
+                if code in tap_codes:
+                    t = fins[0]
+                    tcode = acc_codes[t - base] if t >= base else codes[t]
+                    if tcode != _C_T1_CELL:
+                        raise NetworkError(
+                            "T1 tap fanin must be a T1_CELL node"
+                        )
+                # per-edge effects; out-of-range batch refs (forward or
+                # self) surface as IndexError on the accumulator lists.
+                # Refcounts and free status of batch nodes are derived
+                # from the fanout dicts at commit, not tracked per edge.
+                for f in fins:
+                    if f >= base:
+                        j = f - base
+                        dj = new_fout[j]
+                        if node in dj:
+                            dj[node] += 1
+                            dup_refs[j] = dup_refs.get(j, 0) + 1
+                        else:
+                            dj[node] = 1
+                    elif f >= 0:
+                        df = pre_fout.get(f)
+                        if df is None:
+                            df = pre_fout[f] = {}
+                        df[node] = df.get(node, 0) + 1
+                    else:
+                        raise NetworkError(f"fanin {f} does not exist")
+                put_code(code)
+                put_deg(nf)
+                put_pool(fins)
+                put_fout({})
+                if code == _C_PI:
+                    new_pis.append(node)
+                node += 1
+        except IndexError:
+            raise NetworkError(
+                "batch fanin references this or a later batch item"
+            ) from None
+        if node == base:
+            return out_ids
+        out_ids = list(range(base, node))
+        # commit
+        codes.extend(acc_codes)
+        acc_off = list(accumulate(acc_deg, initial=len(self._pool)))
+        self._off.extend(acc_off[:-1])
+        self._deg.extend(acc_deg)
+        self._pool.extend(acc_pool)
+        self._tuples.extend([None] * len(out_ids))
+        fout.extend(new_fout)
+        refs.extend(map(len, new_fout))
+        for j, extra in dup_refs.items():
+            refs[base + j] += extra
+        for f, edges in pre_fout.items():
+            df = fout[f]
+            total = 0
+            for consumer, mult in edges.items():
+                df[consumer] = df.get(consumer, 0) + mult
+                total += mult
+            refs[f] += total
+        self._pis.extend(new_pis)
+        free = self._free
+        free.difference_update(pre_fout)
+        pi_code = _C_PI
+        free.update(
+            base + j
+            for j, d in enumerate(new_fout)
+            if not d and acc_codes[j] != pi_code
+        )
+        self._epoch += 1
+        return out_ids
+
     def add_t1_cell(self, a: int, b: int, c: int) -> int:
         """Append a T1 cell block over leaves (a, b, c); returns the cell id."""
         fins = (a, b, c)
+        n = len(self._codes)
         for f in fins:
-            if not 0 <= f < len(self.gates):
+            if not 0 <= f < n:
                 raise NetworkError(f"fanin {f} does not exist")
         if self._hash_cons:
             key = (Gate.T1_CELL, fins)
@@ -379,14 +731,15 @@ class LogicNetwork:
 
     def add_po(self, node: int, name: Optional[str] = None) -> int:
         """Mark *node* as a primary output; returns the PO index."""
-        if not 0 <= node < len(self.gates):
+        if not 0 <= node < len(self._codes):
             raise NetworkError(f"PO target {node} does not exist")
-        if self.gates[node] is Gate.T1_CELL:
+        if self._codes[node] == _C_T1_CELL:
             raise NetworkError("a T1_CELL has no single output; tap it first")
         self._pos.append(node)
         self._po_names.append(name)
         index = len(self._pos) - 1
         self._po_pos.setdefault(node, []).append(index)
+        self._free.discard(node)
         return index
 
     # -- names ------------------------------------------------------------------
@@ -400,29 +753,33 @@ class LogicNetwork:
     # -- structure queries -------------------------------------------------------
 
     def gate(self, node: int) -> Gate:
-        return self.gates[node]
+        return GATES_BY_CODE[self._codes[node]]
 
     def fanin(self, node: int) -> Tuple[int, ...]:
-        return self.fanins[node]
+        return self._fanin_view[node]
 
     def is_pi(self, node: int) -> bool:
-        return self.gates[node] is Gate.PI
+        return self._codes[node] == _C_PI
 
     def is_const(self, node: int) -> bool:
         return node in (CONST0, CONST1)
 
     def is_logic(self, node: int) -> bool:
-        g = self.gates[node]
-        return g not in (Gate.CONST0, Gate.CONST1, Gate.PI)
+        return self._codes[node] not in SOURCE_CODES
 
     def t1_cells(self) -> List[int]:
-        return [n for n in self.nodes() if self.gates[n] is Gate.T1_CELL]
+        cell = _C_T1_CELL
+        return [n for n, c in enumerate(self._codes) if c == cell]
 
     def t1_taps_of(self, cell: int) -> List[int]:
+        codes = self._codes
+        off = self._off
+        pool = self._pool
+        tap_codes = T1_TAP_CODES
         return sorted(
             n
             for n in self._fanout[cell]
-            if is_t1_tap(self.gates[n]) and self.fanins[n][0] == cell
+            if codes[n] in tap_codes and pool[off[n]] == cell
         )
 
     # -- maintained fanout index ------------------------------------------------
@@ -441,18 +798,23 @@ class LogicNetwork:
     def compute_fanouts(self) -> List[List[int]]:
         """``fanouts[u]`` = list of nodes having u as a fanin (with repeats).
 
-        Materialised from the maintained index and cached per epoch —
-        treat the result as immutable.
+        Materialised from the CSR arrays and cached per epoch — treat
+        the result as immutable.
         """
         if (
             self._fanout_lists_cache is not None
             and self._fanout_lists_epoch == self._epoch
         ):
             return self._fanout_lists_cache
-        fanouts: List[List[int]] = [[] for _ in range(len(self.gates))]
-        for node, fins in enumerate(self.fanins):
-            for f in fins:
-                fanouts[f].append(node)
+        n = len(self._codes)
+        off = self._off
+        deg = self._deg
+        pool = self._pool
+        fanouts: List[List[int]] = [[] for _ in range(n)]
+        for node in range(n):
+            o = off[node]
+            for j in range(o, o + deg[node]):
+                fanouts[pool[j]].append(node)
         self._fanout_lists_cache = fanouts
         self._fanout_lists_epoch = self._epoch
         return fanouts
@@ -469,25 +831,50 @@ class LogicNetwork:
     def topological_order(self) -> List[int]:
         """All nodes in a fanin-before-fanout order (Kahn's algorithm).
 
-        Includes dead nodes; raises :class:`CycleError` on combinational
-        loops.  Cached per mutation epoch — treat the result as immutable.
+        Runs array-native over the CSR storage (counting-sort fanout CSR
+        + int-array worklist).  Includes dead nodes; raises
+        :class:`CycleError` on combinational loops.  Cached per mutation
+        epoch — treat the result as immutable.
         """
         if self._topo_cache is not None and self._topo_epoch == self._epoch:
             return self._topo_cache
-        n = len(self.gates)
-        fanouts = self.compute_fanouts()
-        indeg = [len(fins) for fins in self.fanins]
-        queue = [node for node in range(n) if indeg[node] == 0]
-        order: List[int] = []
+        n = len(self._codes)
+        off = self._off
+        deg = self._deg
+        pool = self._pool
+        # reverse (fanout) CSR by counting sort — consumer ids ascending
+        # per driver, multiplicities adjacent, same order the fanout-list
+        # materialisation produces
+        counts = [0] * n
+        for v in range(n):
+            o = off[v]
+            for j in range(o, o + deg[v]):
+                counts[pool[j]] += 1
+        starts = [0] * (n + 1)
+        s = 0
+        for i in range(n):
+            starts[i] = s
+            s += counts[i]
+        starts[n] = s
+        fo = [0] * s
+        ptr = starts[:n]
+        for v in range(n):
+            o = off[v]
+            for j in range(o, o + deg[v]):
+                f = pool[j]
+                fo[ptr[f]] = v
+                ptr[f] += 1
+        indeg = list(deg)
+        order = [i for i in range(n) if indeg[i] == 0]
         head = 0
-        while head < len(queue):
-            u = queue[head]
+        while head < len(order):
+            u = order[head]
             head += 1
-            order.append(u)
-            for v in fanouts[u]:
+            for j in range(starts[u], starts[u + 1]):
+                v = fo[j]
                 indeg[v] -= 1
                 if indeg[v] == 0:
-                    queue.append(v)
+                    order.append(v)
         if len(order) != n:
             raise CycleError("network contains a combinational cycle")
         self._topo_cache = order
@@ -502,17 +889,26 @@ class LogicNetwork:
         if self._levels_cache is not None and self._levels_epoch == self._epoch:
             return self._levels_cache
         order = self.topological_order()
-        lvl = [0] * len(self.gates)
-        gates = self.gates
-        fanins = self.fanins
+        lvl = [0] * len(self._codes)
+        codes = self._codes
+        off = self._off
+        deg = self._deg
+        pool = self._pool
+        tap_codes = T1_TAP_CODES
         for node in order:
-            fins = fanins[node]
-            if not fins:
-                lvl[node] = 0
-            elif is_t1_tap(gates[node]):
-                lvl[node] = lvl[fins[0]]
+            d = deg[node]
+            if not d:
+                continue  # lvl already 0
+            o = off[node]
+            if codes[node] in tap_codes:
+                lvl[node] = lvl[pool[o]]
             else:
-                lvl[node] = 1 + max(lvl[f] for f in fins)
+                best = 0
+                for j in range(o, o + d):
+                    v = lvl[pool[j]]
+                    if v > best:
+                        best = v
+                lvl[node] = best + 1
         self._levels_cache = lvl
         self._levels_epoch = self._epoch
         return lvl
@@ -548,23 +944,28 @@ class LogicNetwork:
         key = (self._epoch, tuple(self._pos), tuple(self._pis))
         if self._shash_cache is not None and self._shash_key == key:
             return self._shash_cache
-        digests: List[Optional[bytes]] = [None] * len(self.gates)
+        digests: List[Optional[bytes]] = [None] * len(self._codes)
         digests[CONST0] = hashlib.sha256(b"CONST0").digest()
         digests[CONST1] = hashlib.sha256(b"CONST1").digest()
         for index, pi in enumerate(self._pis):
             digests[pi] = hashlib.sha256(b"PI:%d" % index).digest()
-        gates = self.gates
-        fanins = self.fanins
+        codes = self._codes
+        off = self._off
+        deg = self._deg
+        pool = self._pool
+        commutative = _COMMUTATIVE_CODES
+        gates_by_code = GATES_BY_CODE
         sha256 = hashlib.sha256
         for node in self.topological_order():
             if digests[node] is not None:
                 continue
-            gate = gates[node]
-            fins = [digests[f] for f in fanins[node]]
-            if gate in _COMMUTATIVE:
+            c = codes[node]
+            o = off[node]
+            fins = [digests[pool[j]] for j in range(o, o + deg[node])]
+            if c in commutative:
                 fins.sort()
             digests[node] = sha256(
-                gate.name.encode() + b"(" + b"".join(fins) + b")"
+                gates_by_code[c].name.encode() + b"(" + b"".join(fins) + b")"
             ).digest()
         h = sha256(b"NET:%d:%d|" % (len(self._pis), len(self._pos)))
         for po in self._pos:
@@ -576,6 +977,23 @@ class LogicNetwork:
 
     # -- mutation ------------------------------------------------------------------
 
+    def _write_fanins(self, node: int, new_fins: Tuple[int, ...]) -> None:
+        """Degree-preserving CSR rewrite of one node's fanin span."""
+        o = self._off[node]
+        self._pool[o : o + len(new_fins)] = array("q", new_fins)
+        self._tuples[node] = new_fins
+
+    def _update_free(self, node: int) -> None:
+        """Re-derive one node's free-list membership from its counts."""
+        if (
+            self._struct_refs[node] == 0
+            and not self._po_pos.get(node)
+            and self._codes[node] not in SOURCE_CODES
+        ):
+            self._free.add(node)
+        else:
+            self._free.discard(node)
+
     def substitute(self, old: int, new: int) -> int:
         """Redirect every reference to *old* (fanins and POs) to *new*.
 
@@ -585,20 +1003,22 @@ class LogicNetwork:
         """
         if old == new:
             return 0
-        if not 0 <= new < len(self.gates):
+        n = len(self._codes)
+        if not 0 <= new < n:
             raise NetworkError(f"substitute target {new} does not exist")
-        if not 0 <= old < len(self.gates):
+        if not 0 <= old < n:
             return 0
         rewritten = 0
         consumers = self._fanout[old]
+        view = self._fanin_view
         if consumers:
             moved = 0
             new_out = self._fanout[new]
             for node, mult in list(consumers.items()):
-                fins = self.fanins[node]
+                fins = view[node]
                 new_fins = tuple(new if f == old else f for f in fins)
                 self._hash_retable(node, fins, new_fins)
-                self.fanins[node] = new_fins
+                self._write_fanins(node, new_fins)
                 new_out[node] = new_out.get(node, 0) + mult
                 rewritten += mult
                 moved += mult
@@ -612,21 +1032,24 @@ class LogicNetwork:
                 self._pos[i] = new
             self._po_pos.setdefault(new, []).extend(po_slots)
             rewritten += len(po_slots)
+        if rewritten:
+            self._update_free(old)
+            self._update_free(new)
         return rewritten
 
     def replace_fanin(self, node: int, old: int, new: int) -> None:
         """Rewrite one node's fanin tuple only (every occurrence of *old*)."""
-        fins = self.fanins[node]
+        fins = self._fanin_view[node]
         if old not in fins:
             raise NetworkError(f"{old} is not a fanin of {node}")
-        if not 0 <= new < len(self.gates):
+        if not 0 <= new < len(self._codes):
             raise NetworkError(f"fanin {new} does not exist")
         if old == new:
             return
         mult = fins.count(old)
         new_fins = tuple(new if f == old else f for f in fins)
         self._hash_retable(node, fins, new_fins)
-        self.fanins[node] = new_fins
+        self._write_fanins(node, new_fins)
         out = self._fanout[old]
         out[node] -= mult
         if out[node] == 0:
@@ -635,6 +1058,8 @@ class LogicNetwork:
         new_out[node] = new_out.get(node, 0) + mult
         self._struct_refs[old] -= mult
         self._struct_refs[new] += mult
+        self._update_free(old)
+        self._update_free(new)
         self._epoch += 1
 
     def _hash_retable(
@@ -648,7 +1073,7 @@ class LogicNetwork:
         """
         if not self._hash_cons:
             return
-        gate = self.gates[node]
+        gate = GATES_BY_CODE[self._codes[node]]
         old_key = (gate, tuple(sorted(old_fins)) if gate in _COMMUTATIVE else old_fins)
         if self._hash_table.get(old_key) == node:
             del self._hash_table[old_key]
@@ -657,9 +1082,13 @@ class LogicNetwork:
 
     def _rebuild_hash_table(self) -> None:
         table: Dict[Tuple, int] = {}
-        for node, (gate, fins) in enumerate(zip(self.gates, self.fanins)):
-            if gate in (Gate.CONST0, Gate.CONST1, Gate.PI):
+        view = self._fanin_view
+        source = SOURCE_CODES
+        for node, c in enumerate(self._codes):
+            if c in source:
                 continue
+            gate = GATES_BY_CODE[c]
+            fins = view[node]
             key = (gate, tuple(sorted(fins)) if gate in _COMMUTATIVE else fins)
             table.setdefault(key, node)
         self._hash_table = table
@@ -676,16 +1105,51 @@ class LogicNetwork:
         """
         seen: set = set()
         stack = list(self._pos)
+        off = self._off
+        deg = self._deg
+        pool = self._pool
         while stack:
             u = stack.pop()
             if u in seen:
                 continue
             seen.add(u)
-            stack.extend(self.fanins[u])
+            o = off[u]
+            stack.extend(pool[o : o + deg[u]])
         seen.add(CONST0)
         seen.add(CONST1)
         seen.update(self._pis)
         return seen
+
+    def _dead_nodes(self) -> bytearray:
+        """Per-node dead flags by refcount cascade from the free-list.
+
+        Seeds are the maintained free set (the exact zero-fanout
+        non-source nodes); each death propagates fanin-reference
+        decrements, so the result equals the complement of
+        :meth:`live_nodes` on any DAG — pure int-array work, no
+        reachability set.
+        """
+        n = len(self._codes)
+        dead = bytearray(n)
+        counts = self.compute_fanout_counts()
+        codes = self._codes
+        off = self._off
+        deg = self._deg
+        pool = self._pool
+        source = SOURCE_CODES
+        stack = list(self._free)
+        while stack:
+            u = stack.pop()
+            if dead[u]:
+                continue
+            dead[u] = 1
+            o = off[u]
+            for j in range(o, o + deg[u]):
+                f = pool[j]
+                counts[f] -= 1
+                if counts[f] == 0 and not dead[f] and codes[f] not in source:
+                    stack.append(f)
+        return dead
 
     def compact(self) -> NodeMap:
         """Remove dead nodes in place; returns the old-id -> new-id remap.
@@ -693,41 +1157,77 @@ class LogicNetwork:
         Live node ids are re-assigned as constants, then PIs in interface
         order, then the remaining live nodes in topological order (the
         same id discipline as a from-scratch ``sweep`` rebuild, so the two
-        are interchangeable).  Dead nodes are absent from the returned
-        :class:`~repro.network.nodemap.NodeMap`; their names are dropped.
+        are interchangeable).  Dead nodes are found by the free-list
+        refcount cascade and squeezed out by pointer fix-up over the flat
+        arrays; they are absent from the returned
+        :class:`~repro.network.nodemap.NodeMap` and their names are
+        dropped.
         """
         order = self.topological_order()
-        live = self.live_nodes()
+        n = len(self._codes)
+        dead = self._dead_nodes()
         remap: Dict[int, int] = {CONST0: CONST0, CONST1: CONST1}
         seq: List[int] = [CONST0, CONST1]
         for pi in self._pis:
             remap[pi] = len(seq)
             seq.append(pi)
         for node in order:
-            if node in remap or node not in live:
+            if node in remap or dead[node]:
                 continue
             remap[node] = len(seq)
             seq.append(node)
-        self.gates = [self.gates[o] for o in seq]
-        self.fanins = [
-            tuple(remap[f] for f in self.fanins[o]) for o in seq
-        ]
+        remap_arr = array("q", bytes(8 * n))
+        for old, new in remap.items():
+            remap_arr[old] = new
+        # pointer fix-up: rewrite the arrays in place (the views alias them)
+        old_off = self._off[:]
+        old_deg = self._deg[:]
+        old_pool = self._pool[:]
+        new_n = len(seq)
+        new_codes = bytearray(new_n)
+        new_off = array("q", bytes(8 * new_n))
+        new_deg = array("q", bytes(8 * new_n))
+        new_pool = array("q")
+        codes = self._codes
+        for new_id, old_id in enumerate(seq):
+            new_codes[new_id] = codes[old_id]
+            o = old_off[old_id]
+            d = old_deg[old_id]
+            new_off[new_id] = len(new_pool)
+            new_deg[new_id] = d
+            for j in range(o, o + d):
+                new_pool.append(remap_arr[old_pool[j]])
+        self._codes[:] = new_codes
+        self._off[:] = new_off
+        self._deg[:] = new_deg
+        self._pool[:] = new_pool
+        self._tuples[:] = [None] * new_n
         self._pis = [remap[pi] for pi in self._pis]
         self._pos = [remap[po] for po in self._pos]
         self._po_pos = {}
         for i, po in enumerate(self._pos):
             self._po_pos.setdefault(po, []).append(i)
         self._names = {
-            remap[n]: name for n, name in self._names.items() if n in remap
+            remap[u]: name for u, name in self._names.items() if u in remap
         }
         # rebuild the maintained indices from the compacted arrays
-        self._fanout = [{} for _ in seq]
-        self._struct_refs = [0] * len(seq)
-        for node, fins in enumerate(self.fanins):
-            for f in fins:
-                out = self._fanout[f]
+        self._fanout[:] = [dict() for _ in range(new_n)]
+        self._struct_refs[:] = array("q", bytes(8 * new_n))
+        fout = self._fanout
+        refs = self._struct_refs
+        pool = self._pool
+        off = self._off
+        deg = self._deg
+        for node in range(new_n):
+            o = off[node]
+            for j in range(o, o + deg[node]):
+                f = pool[j]
+                out = fout[f]
                 out[node] = out.get(node, 0) + 1
-                self._struct_refs[f] += 1
+                refs[f] += 1
+        # every surviving non-source node is referenced (that is what
+        # liveness means), so the free-list empties
+        self._free.clear()
         self._epoch += 1
         if self._hash_cons:
             self._rebuild_hash_table()
@@ -741,17 +1241,33 @@ class LogicNetwork:
         Used by the differential tests and the benchmark harness; raises
         :class:`~repro.errors.NetworkError` on any divergence.
         """
-        n = len(self.gates)
+        n = len(self._codes)
         if not (
-            len(self.fanins) == len(self._fanout) == len(self._struct_refs) == n
+            len(self._off)
+            == len(self._deg)
+            == len(self._tuples)
+            == len(self._fanout)
+            == len(self._struct_refs)
+            == n
         ):
             raise NetworkError("kernel arrays out of sync")
         if len(self._pos) != len(self._po_names):
             raise NetworkError("PO name list out of sync")
+        pool_len = len(self._pool)
+        for node in range(n):
+            o = self._off[node]
+            d = self._deg[node]
+            if o < 0 or d < 0 or o + d > pool_len:
+                raise NetworkError(f"CSR span of node {node} out of bounds")
+            cached = self._tuples[node]
+            if cached is not None and cached != tuple(self._pool[o : o + d]):
+                raise NetworkError(f"fanin tuple cache stale at node {node}")
         fresh_fanout: List[Dict[int, int]] = [{} for _ in range(n)]
         fresh_refs = [0] * n
-        for node, fins in enumerate(self.fanins):
-            for f in fins:
+        for node in range(n):
+            o = self._off[node]
+            for j in range(o, o + self._deg[node]):
+                f = self._pool[j]
                 if not 0 <= f < n:
                     raise NetworkError(f"fanin {f} of node {node} out of range")
                 d = fresh_fanout[f]
@@ -763,7 +1279,7 @@ class LogicNetwork:
                     f"fanout index stale at node {node}: "
                     f"{self._fanout[node]} != {fresh_fanout[node]}"
                 )
-        if fresh_refs != self._struct_refs:
+        if fresh_refs != list(self._struct_refs):
             raise NetworkError("reference counts stale")
         fresh_po_pos: Dict[int, List[int]] = {}
         for i, po in enumerate(self._pos):
@@ -771,6 +1287,17 @@ class LogicNetwork:
         mine = {k: sorted(v) for k, v in self._po_pos.items() if v}
         if mine != fresh_po_pos:
             raise NetworkError("PO index stale")
+        fresh_free = {
+            node
+            for node in range(n)
+            if fresh_refs[node] == 0
+            and not fresh_po_pos.get(node)
+            and self._codes[node] not in SOURCE_CODES
+        }
+        if fresh_free != self._free:
+            raise NetworkError(
+                f"free-list stale: {sorted(self._free)} != {sorted(fresh_free)}"
+            )
         if (
             self._fanout_lists_cache is not None
             and self._fanout_lists_epoch == self._epoch
@@ -791,12 +1318,24 @@ class LogicNetwork:
             fresh_lvl = self.levels()
             if fresh_lvl != cached_lvl:
                 raise NetworkError("cached levels stale")
+        try:
+            dead = self._dead_nodes()
+        except Exception:  # cyclic out-of-band edits: liveness undefined
+            dead = None
+        if dead is not None:
+            live = self.live_nodes()
+            cascade_live = {node for node in range(n) if not dead[node]}
+            if cascade_live != live:
+                raise NetworkError(
+                    "free-list liveness cascade diverges from PO reachability"
+                )
         if self._hash_cons:
+            view = self._fanin_view
             for key, node in self._hash_table.items():
                 gate, fins = key
-                if self.gates[node] is not gate:
+                if self._codes[node] != CODE_BY_GATE[gate]:
                     raise NetworkError(f"hash table gate mismatch at {node}")
-                actual = self.fanins[node]
+                actual = view[node]
                 canon = (
                     tuple(sorted(actual)) if gate in _COMMUTATIVE else actual
                 )
@@ -807,15 +1346,20 @@ class LogicNetwork:
 
     def clone(self) -> "LogicNetwork":
         out = LogicNetwork(self.name)
-        out.gates = list(self.gates)
-        out.fanins = list(self.fanins)
+        # in-place copies: the clone's views alias the clone's containers
+        out._codes[:] = self._codes
+        out._off[:] = self._off
+        out._deg[:] = self._deg
+        out._pool[:] = self._pool
+        out._tuples[:] = self._tuples
         out._pis = list(self._pis)
         out._pos = list(self._pos)
         out._po_names = list(self._po_names)
         out._names = dict(self._names)
-        out._fanout = [dict(d) for d in self._fanout]
-        out._struct_refs = list(self._struct_refs)
+        out._fanout[:] = [dict(d) for d in self._fanout]
+        out._struct_refs[:] = self._struct_refs
         out._po_pos = {k: list(v) for k, v in self._po_pos.items()}
+        out._free = set(self._free)
         out._epoch = self._epoch
         # analysis caches are immutable-by-convention: share them
         out._topo_cache = self._topo_cache
@@ -826,6 +1370,8 @@ class LogicNetwork:
         out._fanout_lists_epoch = self._fanout_lists_epoch
         out._shash_cache = self._shash_cache
         out._shash_key = self._shash_key
+        out._sim_schedule = self._sim_schedule
+        out._sim_schedule_epoch = self._sim_schedule_epoch
         out._hash_cons = self._hash_cons
         out._hash_table = dict(self._hash_table)
         return out
@@ -833,7 +1379,7 @@ class LogicNetwork:
     def stats(self) -> Dict[str, int]:
         from collections import Counter
 
-        counter = Counter(g.name for g in self.gates)
+        counter = Counter(GATES_BY_CODE[c].name for c in self._codes)
         return {
             "nodes": self.num_nodes(),
             "gates": self.num_gates(),

@@ -4,18 +4,317 @@ Each node value is a Python integer used as a *W*-bit vector: bit ``j`` is
 the node's value under input pattern ``j``.  Python's big integers make
 this both simple and fast (a single ``&`` simulates W patterns at once),
 and exhaustive simulation of a k-input network is just ``W = 2**k``.
+
+Two evaluation engines share one contract (bit-identical results):
+
+* :func:`simulate_nodewise` — the per-node reference loop: one
+  :func:`~repro.network.gates.eval_gate` dispatch per node in
+  topological order.
+* :func:`simulate` (default path) — the **gate-grouped kernel**: nodes
+  are bucketed by (topological level, gate kind) into a schedule of
+  flat ``array('q')`` lanes, and each bucket runs one tight zip loop of
+  a single Boolean operation over the big-int value list.  Within a
+  level every node depends only on strictly lower levels (T1 taps read
+  their *cell's* fanins, which sit below the cell's level), so buckets
+  at the same level are order-independent.  The schedule is cached on
+  the network per mutation epoch, so the multi-round CEC and signature
+  engines pay the grouping once and then run dispatch-free rounds.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from array import array
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SimulationError
-from repro.network.gates import Gate, eval_gate, is_t1_tap
+from repro.network.gates import (
+    CODE_BY_GATE,
+    GATES_BY_CODE,
+    Gate,
+    eval_gate,
+    is_t1_tap,
+)
 from repro.network.logic_network import LogicNetwork
 from repro.network.traversal import topological_order
 from repro.network.truth_table import TruthTable
+
+# -- gate-grouped schedule ---------------------------------------------------
+#
+# Every single-output node kind reduces to a (family, inverted) pair over
+# its evaluation fanins; T1 taps evaluate their family over the *cell's*
+# three fanins.  CONST*/PI/T1_CELL produce no lane (sources are seeded,
+# the cell is a multi-output block whose taps carry the values).
+
+_FAMILY_BY_GATE: Dict[Gate, Tuple[str, bool]] = {
+    Gate.BUF: ("copy", False),
+    Gate.NOT: ("copy", True),
+    Gate.AND: ("and", False),
+    Gate.NAND: ("and", True),
+    Gate.OR: ("or", False),
+    Gate.NOR: ("or", True),
+    Gate.XOR: ("xor", False),
+    Gate.XNOR: ("xor", True),
+    Gate.MAJ3: ("maj", False),
+    Gate.T1_S: ("xor", False),
+    Gate.T1_C: ("maj", False),
+    Gate.T1_Q: ("or", False),
+    Gate.T1_CN: ("maj", True),
+    Gate.T1_QN: ("or", True),
+}
+_FAMILY_BY_CODE = tuple(_FAMILY_BY_GATE.get(g) for g in GATES_BY_CODE)
+_TAP_CODES = frozenset(CODE_BY_GATE[g] for g in _FAMILY_BY_GATE if is_t1_tap(g))
+
+
+def _r_copy(values, mask, tg, a):
+    for t, x in zip(tg, a):
+        values[t] = values[x]
+
+
+def _r_not(values, mask, tg, a):
+    for t, x in zip(tg, a):
+        values[t] = values[x] ^ mask
+
+
+def _r_and2(values, mask, tg, a, b):
+    for t, x, y in zip(tg, a, b):
+        values[t] = values[x] & values[y]
+
+
+def _r_nand2(values, mask, tg, a, b):
+    for t, x, y in zip(tg, a, b):
+        values[t] = (values[x] & values[y]) ^ mask
+
+
+def _r_or2(values, mask, tg, a, b):
+    for t, x, y in zip(tg, a, b):
+        values[t] = values[x] | values[y]
+
+
+def _r_nor2(values, mask, tg, a, b):
+    for t, x, y in zip(tg, a, b):
+        values[t] = (values[x] | values[y]) ^ mask
+
+
+def _r_xor2(values, mask, tg, a, b):
+    for t, x, y in zip(tg, a, b):
+        values[t] = values[x] ^ values[y]
+
+
+def _r_xnor2(values, mask, tg, a, b):
+    for t, x, y in zip(tg, a, b):
+        values[t] = values[x] ^ values[y] ^ mask
+
+
+def _r_and3(values, mask, tg, a, b, c):
+    for t, x, y, z in zip(tg, a, b, c):
+        values[t] = values[x] & values[y] & values[z]
+
+
+def _r_nand3(values, mask, tg, a, b, c):
+    for t, x, y, z in zip(tg, a, b, c):
+        values[t] = (values[x] & values[y] & values[z]) ^ mask
+
+
+def _r_or3(values, mask, tg, a, b, c):
+    for t, x, y, z in zip(tg, a, b, c):
+        values[t] = values[x] | values[y] | values[z]
+
+
+def _r_nor3(values, mask, tg, a, b, c):
+    for t, x, y, z in zip(tg, a, b, c):
+        values[t] = (values[x] | values[y] | values[z]) ^ mask
+
+
+def _r_xor3(values, mask, tg, a, b, c):
+    for t, x, y, z in zip(tg, a, b, c):
+        values[t] = values[x] ^ values[y] ^ values[z]
+
+
+def _r_xnor3(values, mask, tg, a, b, c):
+    for t, x, y, z in zip(tg, a, b, c):
+        values[t] = values[x] ^ values[y] ^ values[z] ^ mask
+
+
+def _r_maj3(values, mask, tg, a, b, c):
+    for t, x, y, z in zip(tg, a, b, c):
+        va = values[x]
+        vb = values[y]
+        vc = values[z]
+        values[t] = (va & vb) | (va & vc) | (vb & vc)
+
+
+def _r_nmaj3(values, mask, tg, a, b, c):
+    for t, x, y, z in zip(tg, a, b, c):
+        va = values[x]
+        vb = values[y]
+        vc = values[z]
+        values[t] = ((va & vb) | (va & vc) | (vb & vc)) ^ mask
+
+
+def _r_andv(values, mask, tg, fins):
+    for t, nf in zip(tg, fins):
+        acc = values[nf[0]]
+        for f in nf[1:]:
+            acc &= values[f]
+        values[t] = acc
+
+
+def _r_nandv(values, mask, tg, fins):
+    for t, nf in zip(tg, fins):
+        acc = values[nf[0]]
+        for f in nf[1:]:
+            acc &= values[f]
+        values[t] = acc ^ mask
+
+
+def _r_orv(values, mask, tg, fins):
+    for t, nf in zip(tg, fins):
+        acc = values[nf[0]]
+        for f in nf[1:]:
+            acc |= values[f]
+        values[t] = acc
+
+
+def _r_norv(values, mask, tg, fins):
+    for t, nf in zip(tg, fins):
+        acc = values[nf[0]]
+        for f in nf[1:]:
+            acc |= values[f]
+        values[t] = acc ^ mask
+
+
+def _r_xorv(values, mask, tg, fins):
+    for t, nf in zip(tg, fins):
+        acc = values[nf[0]]
+        for f in nf[1:]:
+            acc ^= values[f]
+        values[t] = acc
+
+
+def _r_xnorv(values, mask, tg, fins):
+    for t, nf in zip(tg, fins):
+        acc = values[nf[0]]
+        for f in nf[1:]:
+            acc ^= values[f]
+        values[t] = acc ^ mask
+
+
+#: (family, inverted, arity class) -> lane runner; arity class 0 = variadic
+_RUNNERS = {
+    ("copy", False, 1): _r_copy,
+    ("copy", True, 1): _r_not,
+    ("and", False, 2): _r_and2,
+    ("and", True, 2): _r_nand2,
+    ("or", False, 2): _r_or2,
+    ("or", True, 2): _r_nor2,
+    ("xor", False, 2): _r_xor2,
+    ("xor", True, 2): _r_xnor2,
+    ("and", False, 3): _r_and3,
+    ("and", True, 3): _r_nand3,
+    ("or", False, 3): _r_or3,
+    ("or", True, 3): _r_nor3,
+    ("xor", False, 3): _r_xor3,
+    ("xor", True, 3): _r_xnor3,
+    ("maj", False, 3): _r_maj3,
+    ("maj", True, 3): _r_nmaj3,
+    ("and", False, 0): _r_andv,
+    ("and", True, 0): _r_nandv,
+    ("or", False, 0): _r_orv,
+    ("or", True, 0): _r_norv,
+    ("xor", False, 0): _r_xorv,
+    ("xor", True, 0): _r_xnorv,
+}
+
+
+def _build_schedule(net: LogicNetwork) -> List[tuple]:
+    """Bucket all evaluable nodes into (level, gate-kind) lanes.
+
+    Returns a list of ``(runner, columns)`` pairs in ascending level
+    order; each runner performs one Boolean operation over flat
+    ``array('q')`` target/fanin columns.  Works on any network exposing
+    the ``gates``/``fanins`` sequence protocol; uses the flat-core raw
+    arrays when available.
+    """
+    order = net.topological_order()
+    lvl = net.levels()
+    try:
+        codes = net.gate_codes
+        off, deg, pool = net.fanin_arrays()
+    except AttributeError:  # tuple-layout reference network
+        codes = bytearray(CODE_BY_GATE[g] for g in net.gates)
+        off = array("q")
+        deg = array("q")
+        pool = array("q")
+        for fins in net.fanins:
+            off.append(len(pool))
+            deg.append(len(fins))
+            pool.extend(fins)
+    family_by_code = _FAMILY_BY_CODE
+    tap_codes = _TAP_CODES
+    groups: Dict[tuple, tuple] = {}
+    for node in order:
+        c = codes[node]
+        fam = family_by_code[c]
+        if fam is None:
+            continue  # const/PI (seeded) or T1_CELL (taps carry values)
+        family, inverted = fam
+        o = off[node]
+        d = deg[node]
+        if c in tap_codes:  # taps evaluate over the cell's fanins
+            o = off[pool[o]]
+            d = 3
+        aclass = d if d <= 3 else 0
+        key = (lvl[node], family, inverted, aclass)
+        entry = groups.get(key)
+        if entry is None:
+            entry = groups[key] = tuple([] for _ in range((aclass or 1) + 1))
+        entry[0].append(node)
+        if aclass:
+            for i in range(d):
+                entry[i + 1].append(pool[o + i])
+        else:
+            entry[1].append(tuple(pool[o : o + d]))
+    schedule: List[tuple] = []
+    for key in sorted(groups):
+        _level, family, inverted, aclass = key
+        entry = groups[key]
+        if aclass:
+            cols = tuple(array("q", col) for col in entry)
+        else:
+            cols = (array("q", entry[0]), entry[1])
+        schedule.append((_RUNNERS[(family, inverted, aclass)], cols))
+    return schedule
+
+
+def _sim_schedule(net: LogicNetwork) -> List[tuple]:
+    """The network's grouped schedule, cached per mutation epoch."""
+    if (
+        getattr(net, "_sim_schedule", None) is not None
+        and getattr(net, "_sim_schedule_epoch", -1) == net.epoch
+    ):
+        return net._sim_schedule
+    schedule = _build_schedule(net)
+    net._sim_schedule = schedule
+    net._sim_schedule_epoch = net.epoch
+    return schedule
+
+
+def _seed_values(
+    net: LogicNetwork, pi_values: Sequence[int], width: int
+) -> Tuple[List[int], int]:
+    if len(pi_values) != len(net.pis):
+        raise SimulationError(
+            f"expected {len(net.pis)} PI vectors, got {len(pi_values)}"
+        )
+    if width <= 0:
+        raise SimulationError("width must be positive")
+    mask = (1 << width) - 1
+    values: List[int] = [0] * net.num_nodes()
+    values[1] = mask
+    for pi, v in zip(net.pis, pi_values):
+        values[pi] = v & mask
+    return values, mask
 
 
 def simulate(
@@ -32,20 +331,34 @@ def simulate(
         One W-bit integer per primary input, in ``net.pis`` order.
     width:
         Number of patterns W (defines the bit mask).
+    order:
+        Optional explicit topological order.  When given, evaluation
+        falls back to the per-node loop over exactly those nodes; the
+        default runs the gate-grouped kernel over the whole network.
 
     Returns the list of node values (indexed by node id).
     """
-    if len(pi_values) != len(net.pis):
-        raise SimulationError(
-            f"expected {len(net.pis)} PI vectors, got {len(pi_values)}"
-        )
-    if width <= 0:
-        raise SimulationError("width must be positive")
-    mask = (1 << width) - 1
-    values: List[int] = [0] * net.num_nodes()
-    values[1] = mask
-    for pi, v in zip(net.pis, pi_values):
-        values[pi] = v & mask
+    if order is not None:
+        return simulate_nodewise(net, pi_values, width, order)
+    values, mask = _seed_values(net, pi_values, width)
+    for runner, cols in _sim_schedule(net):
+        runner(values, mask, *cols)
+    return values
+
+
+def simulate_nodewise(
+    net: LogicNetwork,
+    pi_values: Sequence[int],
+    width: int,
+    order: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Per-node reference engine: one ``eval_gate`` dispatch per node.
+
+    Bit-identical to :func:`simulate`; retained as the oracle the
+    grouped kernel is fuzzed against and as the path for evaluating an
+    explicit partial ``order``.
+    """
+    values, mask = _seed_values(net, pi_values, width)
     if order is None:
         # cached per mutation epoch — repeated simulation rounds on the
         # same network (the CEC loop) reuse one traversal
