@@ -10,13 +10,25 @@ kernel exists for, writing ``BENCH_scale.json`` at the repository root:
 * **sweep** — ``sweep()`` (clone + free-list compact) wall time;
 * **simulation** — the gate-grouped kernel vs the per-node
   ``simulate_nodewise`` loop at width 64, warm (schedule built),
-  best-of-``repeats`` (nodes/s each, speedup).
+  best-of-``repeats`` (nodes/s each, speedup);
+* **cut enumeration** (ratchet circuit only) — the flat-array
+  ``enumerate_cuts`` kernel vs ``enumerate_cuts_reference`` at k=3,
+  plus ``CutDatabase.nbytes()`` flat-storage memory;
+* **rewrite sweep** (ratchet circuit only) — the priority-queue
+  ``refactor`` kernel vs the seed ``refactor_reference`` single sweep
+  at cut size 4 (the oracle side is timed once — it is the slow path
+  the ratio exists to retire);
+* **numpy simulation** (when numpy is importable) — the opt-in
+  vectorised uint64 lane vs the big-int kernel, reported without a
+  floor: measured, the big-int kernel wins at width 64 and the lane
+  stays an explicit ``engine="numpy"`` opt-in.
 
-Timings are best-of-N *within one process*, so the two speedup ratios
-are machine-independent; with ``--ratchet`` (the CI perf-smoke mode)
-the 100k-node datapath must hold **bulk construction >= 2x per-call**
-and **grouped simulation >= 1.5x per-node** or the run exits non-zero.
-Kernel invariant failures always exit non-zero.
+Timings are best-of-N *within one process*, so the speedup ratios are
+machine-independent; with ``--ratchet`` (the CI perf-smoke mode) the
+100k-node datapath must hold **bulk construction >= 2x per-call**,
+**grouped simulation >= 1.5x per-node**, **cut enumeration >= 2x
+reference** and **rewrite sweep >= 2x reference** or the run exits
+non-zero.  Kernel invariant failures always exit non-zero.
 
 Usage::
 
@@ -37,8 +49,19 @@ from pathlib import Path
 from repro.circuits.synthetic import build_synthetic
 from repro.errors import NetworkError
 from repro.io.json_report import dump_json_report
-from repro.network import Gate, LogicNetwork, simulate, simulate_nodewise, sweep
+from repro.network import (
+    Gate,
+    LogicNetwork,
+    enumerate_cuts,
+    enumerate_cuts_reference,
+    refactor,
+    refactor_reference,
+    simulate,
+    simulate_nodewise,
+    sweep,
+)
 from repro.network.simulation import random_patterns
+from repro.util import have_numpy
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -46,10 +69,16 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 MIN_CONSTRUCTION_SPEEDUP = 2.0
 #: simulation-ratchet floor (grouped vs per-node nodes/s)
 MIN_SIMULATION_SPEEDUP = 1.5
+#: cut-enumeration-ratchet floor (flat kernel vs reference nodes/s)
+MIN_CUT_ENUM_SPEEDUP = 2.0
+#: rewrite-sweep-ratchet floor (queue kernel vs reference nodes/s)
+MIN_REWRITE_SPEEDUP = 2.0
 #: the circuit the ratchet is pinned to
 RATCHET_CIRCUIT = "datapath_100k"
 
 SIM_WIDTH = 64
+CUT_K = 3
+REWRITE_CUT_SIZE = 4
 
 
 def _best_of(fn, repeats):
@@ -160,6 +189,112 @@ def bench_circuit(name, scale, repeats, failures):
     }
 
 
+def bench_rewrite_kernels(name, scale, repeats, failures, key):
+    """Ratchet-circuit-only sections: the flat-array cut kernel and the
+    priority-queue rewrite kernel vs their retained references, plus the
+    opt-in numpy simulation lane.
+
+    The oracle sides are timed once (min-of-1): they are the slow paths
+    the ratios exist to retire, and a single cold run already bounds the
+    ratio from below.  The kernel sides keep min-of-N but cap N so the
+    rewrite section stays CI-sized.
+    """
+    from repro.network.cuts import cached_cut_database
+
+    net = build_synthetic(name, scale)
+    total = net.num_nodes()
+
+    cut_rep = max(1, min(repeats, 3))
+    cut_s, db = _best_of(lambda: enumerate_cuts(net, k=CUT_K), cut_rep)
+    ref_cut_s, ref_db = _best_of(
+        lambda: enumerate_cuts_reference(net, k=CUT_K), 1
+    )
+    kl, kb = db.raw_rows()
+    rl, rb = ref_db.raw_rows()
+    for node in range(total):
+        if [(kl[i], kb[i]) for i in db.node_rows(node)] != [
+            (rl[i], rb[i]) for i in ref_db.node_rows(node)
+        ]:
+            failures.append(
+                f"{key}: flat cut kernel diverges from reference "
+                f"at node {node}"
+            )
+            break
+    nbytes = db.nbytes()
+
+    # warm the epoch-shared cut database so neither timed side pays
+    # enumeration (both kernels call cached_cut_database internally)
+    cached_cut_database(net, k=REWRITE_CUT_SIZE)
+    rw_rep = max(1, min(repeats, 2))
+    rw_s, (rw_net, rw_accepted) = _best_of(
+        lambda: refactor(net, cut_size=REWRITE_CUT_SIZE), rw_rep
+    )
+    ref_rw_s, (ref_net, ref_accepted) = _best_of(
+        lambda: refactor_reference(net, cut_size=REWRITE_CUT_SIZE), 1
+    )
+    if rw_accepted != ref_accepted:
+        failures.append(
+            f"{key}: rewrite kernel accepted {rw_accepted} rewrites, "
+            f"reference accepted {ref_accepted}"
+        )
+    elif not (
+        rw_net.gates == ref_net.gates and rw_net.fanins == ref_net.fanins
+    ):
+        failures.append(
+            f"{key}: rewrite kernel result diverges from reference"
+        )
+
+    sections = {
+        "cut_enumeration": {
+            "k": CUT_K,
+            "kernel_seconds": round(cut_s, 6),
+            "kernel_nodes_per_s": round(total / cut_s),
+            "reference_seconds": round(ref_cut_s, 6),
+            "reference_nodes_per_s": round(total / ref_cut_s),
+            "speedup_vs_reference": round(ref_cut_s / cut_s, 2),
+            "db_nbytes": nbytes,
+            "db_bytes_per_node": round(nbytes / total, 1),
+        },
+        "rewrite_sweep": {
+            "cut_size": REWRITE_CUT_SIZE,
+            "accepted": rw_accepted,
+            "kernel_seconds": round(rw_s, 6),
+            "kernel_nodes_per_s": round(total / rw_s),
+            "reference_seconds": round(ref_rw_s, 6),
+            "reference_nodes_per_s": round(total / ref_rw_s),
+            "speedup_vs_reference": round(ref_rw_s / rw_s, 2),
+        },
+    }
+
+    if have_numpy():
+        pats = random_patterns(len(net.pis), SIM_WIDTH, seed=7)
+        py0 = simulate(net, pats, SIM_WIDTH, engine="python")
+        np0 = simulate(net, pats, SIM_WIDTH, engine="numpy")
+        if py0 != np0:
+            failures.append(
+                f"{key}: numpy simulation lane diverges from python kernel"
+            )
+        py_s, _ = _best_of(
+            lambda: simulate(net, pats, SIM_WIDTH, engine="python"), repeats
+        )
+        np_s, _ = _best_of(
+            lambda: simulate(net, pats, SIM_WIDTH, engine="numpy"), repeats
+        )
+        sections["numpy_simulation"] = {
+            "available": True,
+            "width": SIM_WIDTH,
+            "python_seconds": round(py_s, 6),
+            "numpy_seconds": round(np_s, 6),
+            # reported, not ratcheted: the big-int kernel wins at width
+            # 64 and the numpy lane stays an explicit opt-in
+            "numpy_speedup": round(py_s / np_s, 2),
+        }
+    else:
+        sections["numpy_simulation"] = {"available": False}
+
+    return sections
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -170,7 +305,9 @@ def main(argv=None) -> int:
         "--ratchet", action="store_true",
         help=f"fail if the {RATCHET_CIRCUIT} speedups fall below "
              f"{MIN_CONSTRUCTION_SPEEDUP}x construction / "
-             f"{MIN_SIMULATION_SPEEDUP}x simulation",
+             f"{MIN_SIMULATION_SPEEDUP}x simulation / "
+             f"{MIN_CUT_ENUM_SPEEDUP}x cut enumeration / "
+             f"{MIN_REWRITE_SPEEDUP}x rewrite sweep",
     )
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument(
@@ -200,16 +337,46 @@ def main(argv=None) -> int:
             f"peak {c['peak_memory_bytes'] / 1e6:.1f} MB"
         )
 
+    gen, scale = next(
+        (g, s) for key, g, s in runs if key == RATCHET_CIRCUIT
+    )
+    circuits[RATCHET_CIRCUIT].update(
+        bench_rewrite_kernels(
+            gen, scale, args.repeats, failures, RATCHET_CIRCUIT
+        )
+    )
+    ce = circuits[RATCHET_CIRCUIT]["cut_enumeration"]
+    rw = circuits[RATCHET_CIRCUIT]["rewrite_sweep"]
+    ns = circuits[RATCHET_CIRCUIT]["numpy_simulation"]
+    print(
+        f"{RATCHET_CIRCUIT:<14} kernels | "
+        f"cuts k={ce['k']} {ce['kernel_nodes_per_s']:>7,}/s "
+        f"({ce['speedup_vs_reference']}x reference, "
+        f"db {ce['db_nbytes'] / 1e6:.1f} MB) | "
+        f"rewrite {rw['kernel_nodes_per_s']:>7,}/s "
+        f"({rw['speedup_vs_reference']}x reference, "
+        f"{rw['accepted']} accepted) | "
+        + (
+            f"numpy sim {ns['numpy_speedup']}x python"
+            if ns["available"]
+            else "numpy absent"
+        )
+    )
+
     ratchet = {
         "circuit": RATCHET_CIRCUIT,
         "min_construction_speedup": MIN_CONSTRUCTION_SPEEDUP,
         "min_simulation_speedup": MIN_SIMULATION_SPEEDUP,
+        "min_cut_enumeration_speedup": MIN_CUT_ENUM_SPEEDUP,
+        "min_rewrite_speedup": MIN_REWRITE_SPEEDUP,
         "construction_speedup": circuits[RATCHET_CIRCUIT]["construction"][
             "bulk_speedup"
         ],
         "simulation_speedup": circuits[RATCHET_CIRCUIT]["simulation"][
             "grouped_speedup"
         ],
+        "cut_enumeration_speedup": ce["speedup_vs_reference"],
+        "rewrite_speedup": rw["speedup_vs_reference"],
     }
     ratchet_failures = []
     if ratchet["construction_speedup"] < MIN_CONSTRUCTION_SPEEDUP:
@@ -221,6 +388,16 @@ def main(argv=None) -> int:
         ratchet_failures.append(
             f"grouped simulation {ratchet['simulation_speedup']}x "
             f"< {MIN_SIMULATION_SPEEDUP}x nodewise"
+        )
+    if ratchet["cut_enumeration_speedup"] < MIN_CUT_ENUM_SPEEDUP:
+        ratchet_failures.append(
+            f"cut enumeration {ratchet['cut_enumeration_speedup']}x "
+            f"< {MIN_CUT_ENUM_SPEEDUP}x reference"
+        )
+    if ratchet["rewrite_speedup"] < MIN_REWRITE_SPEEDUP:
+        ratchet_failures.append(
+            f"rewrite sweep {ratchet['rewrite_speedup']}x "
+            f"< {MIN_REWRITE_SPEEDUP}x reference"
         )
     ratchet["ok"] = not ratchet_failures
 

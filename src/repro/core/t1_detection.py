@@ -26,8 +26,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.network.cuts import CutDatabase, cached_cut_database
-from repro.network.gates import Gate, is_t1_tap
-from repro.network.logic_network import LogicNetwork
+from repro.network.gates import (
+    CODE_BY_GATE,
+    Gate,
+    SOURCE_CODES,
+    T1_TAP_CODES,
+    is_t1_tap,
+)
+from repro.network.logic_network import LogicNetwork, flat_arrays
 from repro.network.mffc import MffcComputer
 from repro.network.nodemap import NodeMap
 from repro.sfq.cell_library import CellLibrary, default_library
@@ -98,6 +104,12 @@ def _t1_area(polarity: int, matches: Sequence[Tuple[int, OutputMatch]],
     return area
 
 
+#: nodes the matcher never scans: sources, T1 cells, taps
+_SKIP_MATCH_CODES = frozenset(
+    SOURCE_CODES | {CODE_BY_GATE[Gate.T1_CELL]} | T1_TAP_CODES
+)
+
+
 def find_candidates(
     net: LogicNetwork,
     library: Optional[CellLibrary] = None,
@@ -126,24 +138,23 @@ def find_candidates(
     group_leaves: List[Tuple[int, int, int]] = []
     # per group, per member: (node, ((polarity, match), ...))
     group_members: List[List[Tuple[int, Tuple[Tuple[int, OutputMatch], ...]]]] = []
-    gates = net.gates
+    codes = flat_arrays(net)[0]
+    skip_codes = _SKIP_MATCH_CODES
+    row_leaves, row_bits = cut_db.raw_rows()
     for node in net.nodes():
-        g = gates[node]
-        if g in (Gate.CONST0, Gate.CONST1, Gate.PI):
-            continue
-        if g is Gate.T1_CELL or is_t1_tap(g):
+        if codes[node] in skip_codes:
             continue
         # kernel-enumerated databases hold distinct leaf tuples per node,
         # but hand-built ones may not — a node must join a group once
         seen_leaves: Set[Tuple[int, ...]] = set()
-        for cut in cut_db[node]:
-            leaves = cut.leaves
+        for ri in cut_db.node_rows(node):
+            leaves = row_leaves[ri]
             if len(leaves) != 3 or node in leaves:
                 continue
             if leaves in seen_leaves:
                 continue
             seen_leaves.add(leaves)
-            pms = match_table.get(cut.table.bits)
+            pms = match_table.get(row_bits[ri])
             if pms is None:
                 continue
             gi = group_of.get(leaves)

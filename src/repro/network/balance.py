@@ -22,30 +22,36 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Tuple
 
-from repro.network.gates import Gate
-from repro.network.logic_network import LogicNetwork
+from repro.network.gates import CODE_BY_GATE, GATES_BY_CODE, Gate
+from repro.network.logic_network import LogicNetwork, flat_arrays
 from repro.network.nodemap import NodeMap
 
 _ASSOCIATIVE = (Gate.AND, Gate.OR, Gate.XOR)
+_ASSOC_CODES = frozenset(CODE_BY_GATE[g] for g in _ASSOCIATIVE)
 
 
 def _collect_chain(
-    net: LogicNetwork,
+    codes: bytearray,
+    off,
+    deg,
+    pool,
     root: int,
-    gate: Gate,
+    code: int,
     fanout_counts: List[int],
 ) -> Tuple[List[int], List[int]]:
-    """Maximal operator tree under *root*; returns (leaves, absorbed)."""
+    """Maximal operator tree under *root*; returns (leaves, absorbed).
+
+    Walks the CSR fanin pool directly (codes/off/deg/pool are the flat
+    struct-of-arrays core of the network)."""
     leaves: List[int] = []
     absorbed: List[int] = []
     stack = [root]
     while stack:
         u = stack.pop()
-        for f in net.fanins[u]:
-            if (
-                net.gates[f] is gate
-                and fanout_counts[f] == 1
-            ):
+        o = off[u]
+        for j in range(o, o + deg[u]):
+            f = pool[j]
+            if codes[f] == code and fanout_counts[f] == 1:
                 absorbed.append(f)
                 stack.append(f)
             else:
@@ -68,20 +74,25 @@ def balance(
     lvl = net.levels()
     fanout_counts = net.compute_fanout_counts()
     fanouts = net.compute_fanouts()
+    codes, off, deg, pool = flat_arrays(net)
+    assoc_codes = _ASSOC_CODES
     out = net.clone()
     replaced: Dict[int, int] = {}
 
     for node in order:
-        gate = net.gates[node]
-        if gate not in _ASSOCIATIVE:
+        code = codes[node]
+        if code not in assoc_codes:
             continue
+        gate = GATES_BY_CODE[code]
         # only rebalance tree roots (their fanout is not absorbed upward)
         parent_absorbs = fanout_counts[node] == 1 and any(
-            net.gates[p] is gate for p in fanouts[node]
+            codes[p] == code for p in fanouts[node]
         )
         if parent_absorbs:
             continue
-        leaves, absorbed = _collect_chain(net, node, gate, fanout_counts)
+        leaves, absorbed = _collect_chain(
+            codes, off, deg, pool, node, code, fanout_counts
+        )
         if len(absorbed) < 1 or len(leaves) <= max_arity:
             continue
         # Huffman-style arity-k merge on (level, node); pad so that the

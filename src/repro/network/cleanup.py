@@ -19,15 +19,24 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.network.gates import Gate, is_t1_tap
+from repro.network.gates import (
+    CODE_BY_GATE,
+    GATES_BY_CODE,
+    Gate,
+    T1_TAP_CODES,
+)
 from repro.network.logic_network import (
     CONST0,
     CONST1,
     LogicNetwork,
+    flat_arrays,
     fold_gate,
 )
 from repro.network.nodemap import NodeMap
 from repro.network.traversal import live_nodes
+
+_C_PI = CODE_BY_GATE[Gate.PI]
+_C_T1_CELL = CODE_BY_GATE[Gate.T1_CELL]
 
 #: backwards-compatible alias — the folding rules now live on the kernel
 _fold_constants = fold_gate
@@ -54,25 +63,30 @@ def strash(net: LogicNetwork) -> Tuple[LogicNetwork, NodeMap]:
     """
     order = net.topological_order()
     live = live_nodes(net)
+    codes, off, deg, pool = flat_arrays(net)
     out = LogicNetwork(net.name, hash_cons=True)
     mapping = {CONST0: CONST0, CONST1: CONST1}
 
     for pi in net.pis:
         mapping[pi] = out.add_pi(net.get_name(pi))
 
+    # the replay loop reads gate codes and the CSR fanin pool directly —
+    # no per-node tuple views on what is the inner loop of every
+    # rewrite pass
     for node in order:
         if node in mapping or node not in live:
             continue
-        g = net.gates[node]
-        if g is Gate.PI:
+        c = codes[node]
+        if c == _C_PI:
             continue
-        fins = tuple(mapping[f] for f in net.fanins[node])
-        if g is Gate.T1_CELL:
+        o = off[node]
+        fins = tuple(mapping[pool[j]] for j in range(o, o + deg[node]))
+        if c == _C_T1_CELL:
             mapping[node] = out.add_t1_cell(*fins)
-        elif is_t1_tap(g):
-            mapping[node] = out.add_t1_tap(fins[0], g)
+        elif c in T1_TAP_CODES:
+            mapping[node] = out.add_t1_tap(fins[0], GATES_BY_CODE[c])
         else:
-            mapping[node] = out.add_gate(g, fins)
+            mapping[node] = out.add_gate(GATES_BY_CODE[c], fins)
     for po, name in zip(net.pos, net.po_names):
         out.add_po(mapping[po], name)
     final_map = out.compact()

@@ -5,19 +5,29 @@ node is built by merging the cut sets of its fanins, keeping only cuts
 with at most *k* leaves, filtering dominated cuts, and pruning to the
 ``cuts_per_node`` best (smaller first) to bound the blow-up.
 
-Each cut carries the truth table of the node over the cut leaves — this is
-what Boolean matching consumes.  The enumeration kernel is
-*allocation-light*: the merge/dominance loop manipulates only raw leaf
-tuples and small int bitmasks, and a :class:`Cut` (with its frozen
-:class:`~repro.network.truth_table.TruthTable`) is only constructed for
-the cuts that survive pruning.  Leaf sets are encoded as *exact dense
-masks over the node-local leaf universe* (the distinct leaves appearing
-in the fanin cut lists — a few dozen at most), so feasibility is one
-``bit_count`` and dominance one ``and``/``not`` per probe, with no hash
-collisions and no set objects.  The leaf-set work is memoised per fanin
-tuple — it never depends on the gate, so e.g. the XOR/AND node pairs of
-half-adders share one pass — and table composition runs on ints through
-a memoised row-remap (:func:`_remap_bits`).
+Each cut carries the truth table of the node over the cut leaves — this
+is what Boolean matching consumes.  The enumeration kernel is
+*array-native* end to end: it reads gates and fanins straight from the
+flat struct-of-arrays core (``net.gate_codes`` / ``net.fanin_arrays()``)
+and stores every node's cuts as **flat parallel row arrays** — one
+offset/count span per node into a shared row-major ``(leaf tuple, table
+bits)`` store — instead of per-node ``Cut`` lists.  ``Cut`` /
+``TruthTable`` objects are materialised lazily, only for the nodes a
+consumer actually touches; the hot consumers (T1 matching, the rewrite
+scorer) read the raw rows directly.
+
+The merge/dominance loop works on sorted leaf tuples with early
+subsumption exits (``|A∪B| == |A|`` proves ``B ⊆ A`` without sorting),
+dedups through a dict keyed by the merged tuple, and is memoised per
+fanin tuple — it never depends on the gate, so e.g. the XOR/AND node
+pairs of half-adders share one pass.  Table composition expands each
+fanin table to the union leaf set through :func:`_spread_bits` (insert
+irrelevant variables, lowest position first), memoised under a single
+packed int key — no tuple hashing on the hot path.  When numpy is
+available (:func:`repro.util.have_numpy`), large two-fanin merge
+products take a vectorised mask lane (outer-or + popcount + unique over
+a node-local dense universe); the result is bit-identical to the pure
+loops, and ``REPRO_NO_NUMPY`` forces the fallback.
 
 Whole databases are cached per network mutation epoch by
 :func:`cached_cut_database`; :meth:`CutDatabase.remap` carries a
@@ -26,22 +36,48 @@ nodes whose structural neighbourhood changed (the incremental path the
 rewrite kernel drives between passes).
 
 The seed per-candidate implementation is retained as
-:func:`enumerate_cuts_reference` — the differential oracle for the kernel
-(and the baseline the mapping benchmarks measure against).
+:func:`enumerate_cuts_reference` — the differential oracle for the
+kernel (and the baseline the mapping benchmarks measure against).
 """
 
 from __future__ import annotations
 
 import itertools
+import sys
+from array import array
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import NetworkError
-from repro.network.gates import Gate, eval_gate, is_t1_tap
-from repro.network.logic_network import LogicNetwork
+from repro.network.gates import (
+    CODE_BY_GATE,
+    GATES_BY_CODE,
+    Gate,
+    T1_TAP_CODES,
+    eval_gate,
+    is_t1_tap,
+)
+from repro.network.logic_network import LogicNetwork, flat_arrays
 from repro.network.traversal import topological_order
 from repro.network.truth_table import TruthTable
+from repro.util import numpy_or_none
+
+_C_CONST0 = CODE_BY_GATE[Gate.CONST0]
+_C_CONST1 = CODE_BY_GATE[Gate.CONST1]
+_C_PI = CODE_BY_GATE[Gate.PI]
+_C_T1_CELL = CODE_BY_GATE[Gate.T1_CELL]
+#: nodes that get only the trivial cut ``{node}``
+_TRIVIAL_ONLY_CODES = frozenset({_C_PI, _C_T1_CELL} | T1_TAP_CODES)
+#: table bits of the trivial cut's identity function (x0 over one var)
+_TT_VAR0_BITS = TruthTable.var(0, 1).bits
+
+#: two-fanin merge products at or above this take the numpy mask lane
+#: (when numpy is importable and the node-local universe fits 63 bits).
+#: At the default ``cuts_per_node=8`` a product is at most 9*9, where
+#: the pure loops win — the lane engages only for generously configured
+#: databases; module-level so tests can force it on small products
+NUMPY_MERGE_MIN_PRODUCT = 4096
 
 
 def leaf_signature(leaves: Tuple[int, ...]) -> int:
@@ -52,9 +88,9 @@ def leaf_signature(leaves: Tuple[int, ...]) -> int:
     fall back to an exact set comparison on a signature hit (the classic
     ABC filter).  Bounded at 64 bits on purpose: a ``1 << node_id`` exact
     mask would make every cut carry a multi-KB big int on 20k-node
-    networks.  The enumeration kernel itself no longer uses hashed
-    signatures — it works on exact dense masks over the node-local leaf
-    universe, which cannot collide.
+    networks.  The enumeration kernel itself does not use hashed
+    signatures — it merges sorted leaf tuples directly, which cannot
+    collide.
     """
     sig = 0
     for leaf in leaves:
@@ -88,15 +124,49 @@ class Cut:
         return len(self.leaves)
 
 
-class CutDatabase:
-    """Cut sets for every node of a network.
+class _CutsView(Sequence):
+    """Read-only per-node view over a database's flat row storage.
 
-    ``epoch`` records the network mutation epoch the cuts were enumerated
-    at (``-1`` for hand-built databases); :func:`cached_cut_database`
-    uses it to decide reuse.  ``full_counts`` (kernel-enumerated
-    databases only) records, per node, the pre-truncation size of the
-    dominance-filtered cut set — :meth:`remap` needs it to know which
-    nodes were clipped by the ``cuts_per_node`` limit.
+    Backwards-compatible stand-in for the old ``List[List[Cut]]``
+    attribute: ``len`` is the node count, ``view[node]`` materialises
+    (and caches) that node's ``Cut`` list.
+    """
+
+    __slots__ = ("_db",)
+
+    def __init__(self, db: "CutDatabase"):
+        self._db = db
+
+    def __len__(self) -> int:
+        return len(self._db._rcount)
+
+    def __getitem__(self, node: int) -> List[Cut]:
+        return self._db._node_cuts(node)
+
+    def __iter__(self) -> Iterator[List[Cut]]:
+        mat = self._db._node_cuts
+        return (mat(n) for n in range(len(self)))
+
+
+class CutDatabase:
+    """Cut sets for every node of a network, stored as flat row arrays.
+
+    Internally each node owns a contiguous span (``offset`` + ``count``,
+    ``array('q')``) of a row-major store holding one ``(sorted leaf
+    tuple, table bits)`` pair per cut — no per-node list objects, no
+    eager ``Cut``/``TruthTable`` boxes.  The object API is unchanged:
+    ``db[node]`` (and the ``db.cuts`` view) materialises a node's
+    ``Cut`` list on first touch and caches it, so repeated access keeps
+    identity (``db[node][i] is db[node][i]``).  Raw-row consumers use
+    :meth:`node_rows` / :meth:`raw_rows` and never allocate cut objects.
+
+    ``epoch`` records the network mutation epoch the cuts were
+    enumerated at (``-1`` for hand-built databases);
+    :func:`cached_cut_database` uses it to decide reuse.
+    ``full_counts`` (kernel-enumerated databases only) records, per
+    node, the pre-truncation size of the dominance-filtered cut set —
+    :meth:`remap` needs it to know which nodes were clipped by the
+    ``cuts_per_node`` limit.
     """
 
     def __init__(
@@ -108,7 +178,35 @@ class CutDatabase:
         include_trivial: bool = True,
         full_counts: Optional[List[int]] = None,
     ):
-        self.cuts = cuts
+        # compatibility constructor: flatten a hand-built list-of-lists
+        # into row storage, keeping the given Cut objects as the
+        # materialised cache so identities survive
+        rstart = array("q")
+        rcount = array("q")
+        row_leaves: List[Tuple[int, ...]] = []
+        row_bits: List[int] = []
+        mat: Dict[int, List[Cut]] = {}
+        for node, node_cuts in enumerate(cuts):
+            rstart.append(len(row_bits))
+            rcount.append(len(node_cuts))
+            for c in node_cuts:
+                row_leaves.append(c.leaves)
+                row_bits.append(c.table.bits)
+            mat[node] = node_cuts
+        self._init_rows(
+            rstart, rcount, row_leaves, row_bits,
+            k, epoch, cuts_per_node, include_trivial, full_counts,
+        )
+        self._mat = mat
+
+    def _init_rows(
+        self, rstart, rcount, row_leaves, row_bits,
+        k, epoch, cuts_per_node, include_trivial, full_counts,
+    ) -> None:
+        self._rstart = rstart
+        self._rcount = rcount
+        self._row_leaves = row_leaves
+        self._row_bits = row_bits
         self.k = k
         self.epoch = epoch
         self.cuts_per_node = cuts_per_node
@@ -117,23 +215,110 @@ class CutDatabase:
         #: filled in by :meth:`remap` on the database it returns
         self.remap_reused = 0
         self.remap_rebuilt = 0
-        # lazy per-node {leaf tuple -> Cut} indices (satellite of the
-        # mapping kernel: cut_with_leaves was an O(cuts) scan)
+        self.remap_index_carried = 0
+        #: lazily materialised per-node Cut lists (identity-stable)
+        self._mat: Dict[int, List[Cut]] = {}
+        # lazy per-node {leaf tuple -> Cut} indices, stamped with the
+        # epoch they were built at: a stale stamp (the database was
+        # re-adopted at a different epoch) drops the whole index instead
+        # of serving entries built against other ids
         self._leaf_index: Dict[int, Dict[Tuple[int, ...], Cut]] = {}
+        self._leaf_index_epoch = epoch
+
+    @classmethod
+    def _from_rows(
+        cls, rstart, rcount, row_leaves, row_bits,
+        k, epoch, cuts_per_node, include_trivial, full_counts,
+    ) -> "CutDatabase":
+        """Kernel constructor: adopt flat row storage without boxing."""
+        self = cls.__new__(cls)
+        self._init_rows(
+            array("q", rstart), array("q", rcount), row_leaves, row_bits,
+            k, epoch, cuts_per_node, include_trivial, full_counts,
+        )
+        return self
+
+    @property
+    def cuts(self) -> _CutsView:
+        """Per-node ``List[Cut]`` view (lazily materialised)."""
+        return _CutsView(self)
+
+    def _node_cuts(self, node: int) -> List[Cut]:
+        got = self._mat.get(node)
+        if got is None:
+            lo = self._rstart[node]
+            rl = self._row_leaves
+            rb = self._row_bits
+            got = [
+                Cut(rl[i], TruthTable(rb[i], len(rl[i])))
+                for i in range(lo, lo + self._rcount[node])
+            ]
+            self._mat[node] = got
+        return got
 
     def __getitem__(self, node: int) -> List[Cut]:
-        return self.cuts[node]
+        return self._node_cuts(node)
+
+    def node_rows(self, node: int) -> range:
+        """Row indices of *node*'s cuts (index into :meth:`raw_rows`)."""
+        lo = self._rstart[node]
+        return range(lo, lo + self._rcount[node])
+
+    def raw_rows(self) -> Tuple[List[Tuple[int, ...]], List[int]]:
+        """The shared ``(leaf tuples, table bits)`` row stores.
+
+        Zero-copy access for kernel consumers (T1 matching, rewrite
+        scoring); treat both lists as immutable.
+        """
+        return self._row_leaves, self._row_bits
+
+    def nbytes(self) -> int:
+        """Approximate byte size of the flat cut storage.
+
+        Counts the span arrays, the two row containers, and every row's
+        leaf tuple and table-bits int.  Shared leaf integers and lazily
+        materialised ``Cut`` boxes are excluded — this reports the cost
+        of the database itself, which bench_scale puts next to
+        tracemalloc peaks.
+        """
+        gs = sys.getsizeof
+        total = (
+            gs(self._rstart) + gs(self._rcount)
+            + gs(self._row_leaves) + gs(self._row_bits)
+        )
+        for t in self._row_leaves:
+            total += gs(t)
+        for b in self._row_bits:
+            total += gs(b)
+        return total
 
     def cut_with_leaves(self, node: int, leaves: Tuple[int, ...]) -> Optional[Cut]:
         """The cut of *node* with exactly these leaves, if enumerated.
 
-        O(1) after the first lookup on a node (a per-node dict keyed by
-        leaf tuple is built lazily and reused)."""
+        O(1) after the first lookup on a node: a per-node dict keyed by
+        leaf tuple is built lazily, invalidated by epoch stamp (not per
+        database object — :meth:`remap` carries entries of
+        identity-mapped nodes to the database it returns).
+        """
+        if self._leaf_index_epoch != self.epoch:
+            self._leaf_index.clear()
+            self._leaf_index_epoch = self.epoch
         index = self._leaf_index.get(node)
         if index is None:
-            index = {c.leaves: c for c in self.cuts[node]}
+            index = {c.leaves: c for c in self._node_cuts(node)}
             self._leaf_index[node] = index
         return index.get(leaves)
+
+    def _nontrivial_rows(self, node: int) -> List[Tuple[Tuple[int, ...], int]]:
+        """``(leaves, bits)`` rows of *node* minus the trivial cut."""
+        rl = self._row_leaves
+        rb = self._row_bits
+        trivial = (node,)
+        return [
+            (rl[i], rb[i])
+            for i in self.node_rows(node)
+            if rl[i] != trivial
+        ]
 
     def remap(
         self,
@@ -169,16 +354,18 @@ class CutDatabase:
         Re-enumerated nodes that end up equal to their preimage's
         translation are still marked faithful, so dirtiness does not
         propagate past the region where results actually differ.
-        ``remap_reused`` / ``remap_rebuilt`` on the returned database
-        count the two paths.
+        Nodes whose reuse is the *identity* (same id, same leaf ids)
+        additionally inherit the old database's materialised cuts and
+        ``cut_with_leaves`` index entries.  ``remap_reused`` /
+        ``remap_rebuilt`` on the returned database count the two paths.
         """
         k = self.k
         cap = self.cuts_per_node
-        old_cuts = self.cuts
         old_full = self.full_counts
-        old_gates = old_net.gates
-        old_fanins = old_net.fanins
         get_new = node_map.get
+
+        old_codes, old_off, old_deg, old_pool = flat_arrays(old_net)
+        new_codes, new_off, new_deg, new_pool = flat_arrays(new_net)
 
         inv: Dict[int, int] = {}
         multi = set()
@@ -189,16 +376,19 @@ class CutDatabase:
                 inv[m] = o
 
         n = new_net.num_nodes()
-        db: List[List[Cut]] = [[] for _ in range(n)]
-        leaves_of: List[List[Tuple[int, ...]]] = [[] for _ in range(n)]
-        bits_of: List[List[int]] = [[] for _ in range(n)]
+        rstart = [0] * n
+        rcount = [0] * n
+        row_leaves: List[Tuple[int, ...]] = []
+        row_bits: List[int] = []
         full_counts = [0] * n
         faithful = [False] * n
-        gates = new_net.gates
-        fanins = new_net.fanins
-        tt_var0 = TruthTable.var(0, 1)
-        merge_memo: Dict[Tuple[int, ...], Tuple[list, int]] = {}
+        include_trivial = self.include_trivial
+        merge_memo: Dict[Tuple[int, ...], tuple] = {}
+        spread_memo: Dict[int, int] = {}
+        evals = _EVAL_BY_CODE
         reused = rebuilt = 0
+        carried_mat: Dict[int, List[Cut]] = {}
+        carried_index: Dict[int, Dict[Tuple[int, ...], Cut]] = {}
 
         def translated_rows(o: int) -> Optional[List[Tuple[Tuple[int, ...], int]]]:
             """o's non-trivial cuts as new-id ``(leaves, bits)`` rows.
@@ -208,29 +398,28 @@ class CutDatabase:
             Returns None when a leaf did not survive the remap.
             """
             rows: List[Tuple[Tuple[int, ...], int]] = []
-            for c in old_cuts[o]:
-                lv = c.leaves
-                if lv == (o,):
-                    continue
+            for lv, bits in self._nontrivial_rows(o):
                 new_lv = tuple(get_new(l, -1) for l in lv)
                 if -1 in new_lv:
                     return None
                 sorted_lv = tuple(sorted(new_lv))
                 if sorted_lv == new_lv:
-                    rows.append((new_lv, c.table.bits))
+                    rows.append((new_lv, bits))
                 else:
                     positions = tuple(sorted_lv.index(x) for x in new_lv)
                     rows.append(
-                        (sorted_lv, _remap_bits(c.table.bits, positions, len(lv)))
+                        (sorted_lv, _remap_bits(bits, positions, len(lv)))
                     )
             rows.sort(key=lambda r: (len(r[0]), r[0]))
             return rows
 
         def injective_on_fanin_leaves(o: int) -> bool:
             leaf_set = set()
-            for f in old_fanins[o]:
-                for c in old_cuts[f]:
-                    leaf_set.update(c.leaves)
+            oo = old_off[o]
+            rl = self._row_leaves
+            for j in range(oo, oo + old_deg[o]):
+                for i in self.node_rows(old_pool[j]):
+                    leaf_set.update(rl[i])
             mapped = set()
             for l in leaf_set:
                 ml = get_new(l)
@@ -240,34 +429,39 @@ class CutDatabase:
             return len(mapped) == len(leaf_set)
 
         for node in topological_order(new_net):
-            g = gates[node]
+            c = new_codes[node]
             o = inv.get(node) if node not in multi else None
-            if g in (Gate.CONST0, Gate.CONST1):
-                const_tt = TruthTable.const(g is Gate.CONST1, 0)
-                db[node] = [Cut((), const_tt)]
-                leaves_of[node] = [()]
-                bits_of[node] = [const_tt.bits]
+            rstart[node] = len(row_bits)
+            if c == _C_CONST0 or c == _C_CONST1:
+                row_leaves.append(())
+                row_bits.append(1 if c == _C_CONST1 else 0)
+                rcount[node] = 1
                 full_counts[node] = 1
-                faithful[node] = o is not None and old_gates[o] is g
+                faithful[node] = o is not None and old_codes[o] == c
                 continue
-            if g is Gate.PI or g is Gate.T1_CELL or is_t1_tap(g):
-                db[node] = [Cut((node,), tt_var0)]
-                leaves_of[node] = [(node,)]
-                bits_of[node] = [tt_var0.bits]
+            if c in _TRIVIAL_ONLY_CODES:
+                row_leaves.append((node,))
+                row_bits.append(_TT_VAR0_BITS)
+                rcount[node] = 1
                 full_counts[node] = 1
-                faithful[node] = o is not None and old_gates[o] is g
+                faithful[node] = o is not None and old_codes[o] == c
                 continue
 
-            fins = fanins[node]
+            no = new_off[node]
+            nd = new_deg[node]
+            fins = tuple(new_pool[no:no + nd])
             rows = None
             if (
                 o is not None
                 and old_full is not None
-                and old_gates[o] is g
+                and old_codes[o] == c
                 and old_full[o] <= cap
                 and all(faithful[f] for f in fins)
             ):
-                mapped_fins = [get_new(f, -1) for f in old_fanins[o]]
+                oo = old_off[o]
+                mapped_fins = [
+                    get_new(old_pool[j], -1) for j in range(oo, oo + old_deg[o])
+                ]
                 if (
                     -1 not in mapped_fins
                     and sorted(mapped_fins) == sorted(fins)
@@ -278,38 +472,45 @@ class CutDatabase:
                 reused += 1
                 faithful[node] = True
                 full_counts[node] = old_full[o]
+                if o == node and rows == self._nontrivial_rows(o):
+                    # identity reuse: the materialised cuts and leaf
+                    # index of the preimage stay valid verbatim
+                    got = self._mat.get(o)
+                    if got is not None:
+                        carried_mat[node] = got
+                    idx = self._leaf_index.get(o)
+                    if idx is not None:
+                        carried_index[node] = idx
             else:
                 rebuilt += 1
-                rows, total = _node_cut_rows(
-                    g, fins, leaves_of, bits_of, k, cap, merge_memo
+                spans = [(rstart[f], rstart[f] + rcount[f]) for f in fins]
+                kept, total = _merged_spans_memo(
+                    fins, spans, row_leaves, k, cap, merge_memo
                 )
+                rows = _compose_kept(evals[c], kept, row_bits, spread_memo)
                 full_counts[node] = total
                 # stop dirtiness from propagating: a rebuilt node whose
                 # result matches its preimage's translation is faithful
-                if o is not None and old_gates[o] is g:
+                if o is not None and old_codes[o] == c:
                     faithful[node] = translated_rows(o) == rows
+            for key, bits in rows:
+                row_leaves.append(key)
+                row_bits.append(bits)
+            if include_trivial:
+                row_leaves.append((node,))
+                row_bits.append(_TT_VAR0_BITS)
+            rcount[node] = len(row_bits) - rstart[node]
 
-            node_cuts = [Cut(key, TruthTable(bits, len(key))) for key, bits in rows]
-            node_leaves = [key for key, _bits in rows]
-            node_bits = [bits for _key, bits in rows]
-            if self.include_trivial:
-                node_cuts.append(Cut((node,), tt_var0))
-                node_leaves.append((node,))
-                node_bits.append(tt_var0.bits)
-            db[node] = node_cuts
-            leaves_of[node] = node_leaves
-            bits_of[node] = node_bits
-
-        out = CutDatabase(
-            db,
-            k,
-            epoch=new_net.epoch,
-            cuts_per_node=cap,
-            include_trivial=self.include_trivial,
-            full_counts=full_counts,
+        out = CutDatabase._from_rows(
+            rstart, rcount, row_leaves, row_bits,
+            k, new_net.epoch, cap, include_trivial, full_counts,
         )
         out.remap_reused = reused
         out.remap_rebuilt = rebuilt
+        if self._leaf_index_epoch == self.epoch:
+            out._leaf_index.update(carried_index)
+            out.remap_index_carried = len(carried_index)
+        out._mat.update(carried_mat)
         return out
 
 
@@ -317,10 +518,9 @@ class CutDatabase:
 def _remap_bits(bits: int, positions: Tuple[int, ...], k: int) -> int:
     """Raw-int :meth:`TruthTable.remap`: re-express over ``k`` variables.
 
-    Old variable ``i`` becomes new variable ``positions[i]``.  The domain
-    is tiny for the k<=3 mapping front-end (bits < 256, a handful of
-    position tuples), so the cache turns almost every composition into a
-    dict hit.
+    Old variable ``i`` becomes new variable ``positions[i]``.  Used on
+    the cold paths (remap leaf permutation); the enumeration hot path
+    uses the ascending-subset special case :func:`_spread_bits`.
     """
     out = 0
     for row in range(1 << k):
@@ -333,24 +533,107 @@ def _remap_bits(bits: int, positions: Tuple[int, ...], k: int) -> int:
     return out
 
 
-def _compose_bits(
-    gate: Gate,
-    fanin_cuts: Sequence[Tuple[Tuple[int, ...], int]],
-    leaves: Tuple[int, ...],
-) -> int:
-    """Table (as an int) of ``gate`` over *leaves* from raw fanin cuts.
+def _spread_bits(bits: int, pmask: int, k: int) -> int:
+    """Expand *bits* to a table over ``k`` variables.
 
-    ``fanin_cuts`` holds one ``(leaves, table bits)`` pair per fanin; all
-    fanin leaf sets must be subsets of *leaves*.
+    *bits* is a function of the variables at the set positions of
+    *pmask* (taken in ascending order — leaf tuples are sorted, and a
+    fanin cut's leaves are a subsequence of the union's, so the variable
+    order never permutes).  Missing positions are inserted lowest-first:
+    when position ``p`` is inserted every position below it is already
+    present, so the insertion duplicates each block of ``2**p`` table
+    rows in place.
     """
-    k = len(leaves)
-    index = leaves.index
-    mask = (1 << (1 << k)) - 1
-    fanin_tts = [
-        _remap_bits(bits, tuple(map(index, cut_leaves)), k)
-        for cut_leaves, bits in fanin_cuts
-    ]
-    return eval_gate(gate, fanin_tts, mask) & mask
+    miss = ((1 << k) - 1) & ~pmask
+    n = pmask.bit_count()
+    while miss:
+        low = miss & -miss
+        miss ^= low
+        block = low  # == 1 << p, and 2**p rows per duplicated block
+        width = 1 << n
+        bmask = (1 << block) - 1
+        out = 0
+        src = 0
+        dst = 0
+        while src < width:
+            piece = (bits >> src) & bmask
+            out |= (piece | (piece << block)) << dst
+            src += block
+            dst += block << 1
+        bits = out
+        n += 1
+    return bits
+
+
+# -- gate evaluation over raw table ints, dispatched by gate code ------------
+
+def _e_buf(v, m):
+    return v[0]
+
+
+def _e_not(v, m):
+    return v[0] ^ m
+
+
+def _e_and(v, m):
+    if len(v) == 2:
+        return v[0] & v[1]
+    out = v[0]
+    for x in v[1:]:
+        out &= x
+    return out
+
+
+def _e_nand(v, m):
+    return _e_and(v, m) ^ m
+
+
+def _e_or(v, m):
+    if len(v) == 2:
+        return v[0] | v[1]
+    out = v[0]
+    for x in v[1:]:
+        out |= x
+    return out
+
+
+def _e_nor(v, m):
+    return _e_or(v, m) ^ m
+
+
+def _e_xor(v, m):
+    if len(v) == 2:
+        return v[0] ^ v[1]
+    out = v[0]
+    for x in v[1:]:
+        out ^= x
+    return out
+
+
+def _e_xnor(v, m):
+    return _e_xor(v, m) ^ m
+
+
+def _e_maj3(v, m):
+    a, b, c = v
+    return (a & b) | (a & c) | (b & c)
+
+
+#: gate code -> table evaluator; None for gates cut composition never sees
+_EVAL_BY_CODE = tuple(
+    {
+        Gate.BUF: _e_buf,
+        Gate.NOT: _e_not,
+        Gate.AND: _e_and,
+        Gate.NAND: _e_nand,
+        Gate.OR: _e_or,
+        Gate.NOR: _e_nor,
+        Gate.XOR: _e_xor,
+        Gate.XNOR: _e_xnor,
+        Gate.MAJ3: _e_maj3,
+    }.get(g)
+    for g in GATES_BY_CODE
+)
 
 
 def _compose_table(
@@ -374,71 +657,109 @@ def _compose_table(
     return TruthTable(eval_gate(gate, fanin_tts, mask) & mask, k)
 
 
-def _mask_tuple(mask: int, ordered: Sequence[int]) -> Tuple[int, ...]:
-    """Decode a local dense mask back to the sorted global leaf tuple."""
-    out = []
-    while mask:
-        low = mask & -mask
-        out.append(ordered[low.bit_length() - 1])
-        mask ^= low
-    return tuple(out)
+def _merge2_numpy(
+    alo: int, ahi: int, blo: int, bhi: int,
+    row_leaves: List[Tuple[int, ...]], k: int,
+) -> Optional[Dict[Tuple[int, ...], Tuple[int, ...]]]:
+    """Vectorised two-fanin merge over a node-local dense mask universe.
+
+    Returns the same ``{merged leaf tuple: (row_a, row_b)}`` dict as the
+    pure loops (first combo in (a, b) iteration order wins), or ``None``
+    when numpy is unavailable or the leaf universe exceeds 63 bits.
+    """
+    np = numpy_or_none()
+    if np is None or not hasattr(np, "bitwise_count"):
+        return None
+    universe = set()
+    for i in range(alo, ahi):
+        universe.update(row_leaves[i])
+    for i in range(blo, bhi):
+        universe.update(row_leaves[i])
+    if len(universe) > 63:
+        return None
+    ordered = sorted(universe)
+    index = {leaf: j for j, leaf in enumerate(ordered)}
+
+    def mask_of(i: int) -> int:
+        m = 0
+        for leaf in row_leaves[i]:
+            m |= 1 << index[leaf]
+        return m
+
+    na = ahi - alo
+    nb = bhi - blo
+    ma = np.fromiter((mask_of(i) for i in range(alo, ahi)),
+                     dtype=np.uint64, count=na)
+    mb = np.fromiter((mask_of(i) for i in range(blo, bhi)),
+                     dtype=np.uint64, count=nb)
+    union = np.bitwise_or.outer(ma, mb).ravel()
+    feasible = np.flatnonzero(np.bitwise_count(union) <= k)
+    uniq, first = np.unique(union[feasible], return_index=True)
+    flat = feasible[first]
+    chosen: Dict[Tuple[int, ...], Tuple[int, int]] = {}
+    for mask, pos in zip(uniq.tolist(), flat.tolist()):
+        key = []
+        m = mask
+        while m:
+            low = m & -m
+            key.append(ordered[low.bit_length() - 1])
+            m ^= low
+        chosen[tuple(key)] = (alo + pos // nb, blo + pos % nb)
+    return chosen
 
 
-def _merge_and_filter(
-    fanin_leaf_lists: Sequence[Sequence[Tuple[int, ...]]],
+def _merge_spans(
+    spans: Sequence[Tuple[int, int]],
+    row_leaves: List[Tuple[int, ...]],
     k: int,
     cap: int,
-) -> Tuple[List[Tuple[Tuple[int, ...], Tuple[int, ...]]], int]:
+) -> Tuple[List[Tuple[Tuple[int, ...], int, Tuple[Tuple[int, int], ...]]], int]:
     """Merged, dominance-filtered, pruned leaf sets of one node.
 
-    Returns ``(kept, total)``: *kept* is the canonical cut list as
-    ``(sorted leaf tuple, combo)`` pairs — at most *cap* of them, sorted
-    by ``(len, tuple)`` — and *total* the pre-truncation size of the
-    dominance-filtered set (the minimal antichain, which is canonical:
-    a proper subset is strictly smaller, so membership does not depend
-    on enumeration order).  The combo records one cut index per fanin
-    (the composition step needs, for every fanin, *some* cut whose
-    leaves are a subset of the merged set; the node function over a
-    fixed leaf set is unique, so which combo wins does not matter for
-    the table).
+    *spans* gives each fanin's ``(lo, hi)`` row range in the shared
+    *row_leaves* store.  Returns ``(kept, total)``: *kept* holds at most
+    *cap* entries ``(leaf tuple, len, parts)`` in canonical ``(len,
+    tuple)`` order, where *parts* records per fanin the chosen row index
+    and the dense position mask of that row's leaves within the merged
+    tuple (what table composition spreads on); *total* is the
+    pre-truncation size of the dominance-filtered set (the minimal
+    antichain, which is canonical: a proper subset is strictly smaller,
+    so membership does not depend on enumeration order).  Which combo
+    wins a dedup tie does not matter for the composed table — the node
+    function over a fixed leaf set is unique.
 
-    All set work runs on exact dense masks over the node-local leaf
-    universe: feasibility is ``bit_count() <= k`` (with a free early
-    exit when one side subsumes the other — the seed's exact-size
-    pre-check, which the old 64-bit hashed signatures lost on wide-fanin
-    cones), dedup is a dict on ints, dominance is ``prev & ~cur == 0``
-    — exact, no collision fallback path.
+    All set work runs on sorted leaf tuples: ``|A∪B| == |A|`` proves
+    ``B ⊆ A`` (the union is already canonical — no sort), dedup is a
+    dict on tuples, dominance a subset probe against the kept antichain.
     """
-    universe = set()
-    for lst in fanin_leaf_lists:
-        for leaves in lst:
-            universe.update(leaves)
-    ordered = sorted(universe)
-    index = {leaf: i for i, leaf in enumerate(ordered)}
-    mask_lists: List[List[int]] = []
-    for lst in fanin_leaf_lists:
-        masks = []
-        for leaves in lst:
-            m = 0
-            for leaf in leaves:
-                m |= 1 << index[leaf]
-            masks.append(m)
-        mask_lists.append(masks)
-
-    chosen: Dict[int, Tuple[int, ...]]
-    if len(mask_lists) == 2:
+    chosen: Dict[Tuple[int, ...], Tuple[int, ...]]
+    if len(spans) == 2:
         # the dominant shape after decomposition: a hand-rolled double
-        # loop avoids fold bookkeeping
-        chosen = {}
-        masks_b = mask_lists[1]
-        for ia, ma in enumerate(mask_lists[0]):
-            for ib, mb in enumerate(masks_b):
-                u = ma | mb
-                if u in chosen:
-                    continue
-                if u != ma and u != mb and u.bit_count() > k:
-                    continue
-                chosen[u] = (ia, ib)
+        # loop, vectorised through numpy for large products
+        (alo, ahi), (blo, bhi) = spans
+        chosen = None
+        if (ahi - alo) * (bhi - blo) >= NUMPY_MERGE_MIN_PRODUCT:
+            chosen = _merge2_numpy(alo, ahi, blo, bhi, row_leaves, k)
+        if chosen is None:
+            chosen = {}
+            for ria in range(alo, ahi):
+                ta = row_leaves[ria]
+                sa = set(ta)
+                na = len(ta)
+                for rib in range(blo, bhi):
+                    tb = row_leaves[rib]
+                    u = sa.union(tb)
+                    lu = len(u)
+                    if lu == na:
+                        key = ta
+                    elif lu == len(tb):
+                        key = tb
+                    elif lu > k:
+                        continue
+                    else:
+                        key = tuple(sorted(u))
+                    if key not in chosen:
+                        chosen[key] = (ria, rib)
     else:
         # wider gates: fold the fanin lists pairwise, pruning and
         # deduping the intermediate unions.  Unions are associative and
@@ -446,70 +767,128 @@ def _merge_and_filter(
         # prefix never loses a feasible final leaf set — this turns the
         # full cut-set product (|cuts|^arity combos) into
         # |intermediates| * |cuts| work per level.
-        acc: List[Tuple[int, Tuple[int, ...]]] = [
-            (m, (i,)) for i, m in enumerate(mask_lists[0])
+        lo0, hi0 = spans[0]
+        acc: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = [
+            (row_leaves[ri], (ri,)) for ri in range(lo0, hi0)
         ]
-        for masks in mask_lists[1:]:
+        for lo, hi in spans[1:]:
             seen = set()
-            nxt: List[Tuple[int, Tuple[int, ...]]] = []
-            for ma, combo in acc:
-                for ib, mb in enumerate(masks):
-                    u = ma | mb
-                    if u in seen:
+            nxt: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+            for ta, combo in acc:
+                sa = set(ta)
+                na = len(ta)
+                for ri in range(lo, hi):
+                    tb = row_leaves[ri]
+                    u = sa.union(tb)
+                    lu = len(u)
+                    if lu == na:
+                        key = ta
+                    elif lu == len(tb):
+                        key = tb
+                    elif lu > k:
                         continue
-                    if u != ma and u.bit_count() > k:
+                    else:
+                        key = tuple(sorted(u))
+                    if key in seen:
                         continue
-                    seen.add(u)
-                    nxt.append((u, combo + (ib,)))
+                    seen.add(key)
+                    nxt.append((key, combo + (ri,)))
             acc = nxt
         chosen = dict(acc)
 
-    # dominance filter over the canonical (len, tuple) order; the exact
-    # masks prove subset-ness in two int ops per probe
-    entries = [(_mask_tuple(u, ordered), u) for u in chosen]
-    entries.sort(key=lambda e: (len(e[0]), e[0]))
-    kept: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
-    kept_masks: List[int] = []
-    for key, u in entries:
+    # dominance filter over the canonical (len, tuple) order; kept
+    # entries form the minimal antichain
+    entries = sorted(chosen.items(), key=lambda e: (len(e[0]), e[0]))
+    kept_raw: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+    kept_sets: List[set] = []
+    for key, combo in entries:
+        ks = set(key)
         dominated = False
-        for prev in kept_masks:
-            if not (prev & ~u):
+        for prev in kept_sets:
+            if prev <= ks:
                 dominated = True
                 break
         if dominated:
             continue
-        kept.append((key, chosen[u]))
-        kept_masks.append(u)
-    total = len(kept)
-    del kept[cap:]
+        kept_raw.append((key, combo))
+        kept_sets.append(ks)
+    total = len(kept_raw)
+    del kept_raw[cap:]
+
+    # attach, per surviving row, the position mask of each fanin cut's
+    # leaves inside the merged tuple (what _spread_bits expands on)
+    kept: List[Tuple[Tuple[int, ...], int, Tuple[Tuple[int, int], ...]]] = []
+    for key, combo in kept_raw:
+        kk = len(key)
+        full = (1 << kk) - 1
+        idx = key.index
+        parts = []
+        for ri in combo:
+            ta = row_leaves[ri]
+            if len(ta) == kk:
+                pm = full
+            else:
+                pm = 0
+                for leaf in ta:
+                    pm |= 1 << idx(leaf)
+            parts.append((ri, pm))
+        kept.append((key, kk, tuple(parts)))
     return kept, total
 
 
-def _node_cut_rows(
-    g: Gate,
+def _merged_spans_memo(
     fins: Tuple[int, ...],
-    leaves_of: List[List[Tuple[int, ...]]],
-    bits_of: List[List[int]],
+    spans: Sequence[Tuple[int, int]],
+    row_leaves: List[Tuple[int, ...]],
     k: int,
     cap: int,
-    merge_memo: Dict[Tuple[int, ...], Tuple[list, int]],
-) -> Tuple[List[Tuple[Tuple[int, ...], int]], int]:
-    """Non-trivial ``(leaves, table bits)`` rows of one logic node.
+    merge_memo: Dict[Tuple[int, ...], tuple],
+) -> tuple:
+    """Per-fanin-tuple memoised :func:`_merge_spans`.
 
     The merge + dominance work depends only on the fanin tuple (never on
     the gate), so nodes sharing fanins — e.g. the XOR/AND pairs of every
-    half-adder — share one pass via *merge_memo*.
+    half-adder — share one pass.
     """
     entry = merge_memo.get(fins)
     if entry is None:
-        entry = _merge_and_filter([leaves_of[f] for f in fins], k, cap)
+        entry = _merge_spans(spans, row_leaves, k, cap)
         merge_memo[fins] = entry
-    kept, total = entry
-    rows = []
-    for key, combo in kept:
-        raw = [(leaves_of[f][ci], bits_of[f][ci]) for f, ci in zip(fins, combo)]
-        rows.append((key, _compose_bits(g, raw, key)))
-    return rows, total
+    return entry
+
+
+def _compose_kept(
+    evalf,
+    kept: Sequence[Tuple[Tuple[int, ...], int, Tuple[Tuple[int, int], ...]]],
+    row_bits: List[int],
+    spread_memo: Dict[int, int],
+) -> List[Tuple[Tuple[int, ...], int]]:
+    """``(leaves, table bits)`` rows from merged entries.
+
+    Each fanin table is spread onto the union leaf set; the spread is
+    memoised under a packed ``(bits, pmask, k)`` int key (the distinct
+    combinations number a few thousand at k<=4, so nearly every lookup
+    is a dict hit).
+    """
+    rows: List[Tuple[Tuple[int, ...], int]] = []
+    for key, kk, parts in kept:
+        full = (1 << kk) - 1
+        tts = []
+        for ri, pm in parts:
+            bits = row_bits[ri]
+            if pm == full:
+                tts.append(bits)
+            elif kk < 16:
+                mkey = ((bits << kk) | pm) << 5 | kk
+                t = spread_memo.get(mkey)
+                if t is None:
+                    t = _spread_bits(bits, pm, kk)
+                    spread_memo[mkey] = t
+                tts.append(t)
+            else:  # huge cuts: skip the memo, keys would not pack
+                tts.append(_spread_bits(bits, pm, kk))
+        rows.append((key, evalf(tts, (1 << (1 << kk)) - 1)))
+    return rows
 
 
 def enumerate_cuts(
@@ -532,63 +911,73 @@ def enumerate_cuts(
     T1 blocks: the cell and its taps get only trivial cuts (they are
     already mapped; re-matching inside them is pointless).
 
-    Produces cut sets bit-identical to
-    :func:`enumerate_cuts_reference` while allocating ``Cut`` /
-    ``TruthTable`` objects only for the survivors.
+    Reads gates and fanins from the flat struct-of-arrays core and
+    stores results as flat row arrays; produces cut sets bit-identical
+    to :func:`enumerate_cuts_reference` without allocating any ``Cut`` /
+    ``TruthTable`` objects.
     """
     if k < 1:
         raise NetworkError("cut size k must be >= 1")
     if order is None:
         order = topological_order(net)
+    codes, off, deg, pool = flat_arrays(net)
     n = net.num_nodes()
-    db: List[List[Cut]] = [[] for _ in range(n)]
-    # parallel raw views of db, avoiding attribute chasing in the merge
-    leaves_of: List[List[Tuple[int, ...]]] = [[] for _ in range(n)]
-    bits_of: List[List[int]] = [[] for _ in range(n)]
+    rstart = [0] * n
+    rcount = [0] * n
+    row_leaves: List[Tuple[int, ...]] = []
+    row_bits: List[int] = []
     full_counts = [0] * n
-    gates = net.gates
-    fanins = net.fanins
-    tt_var0 = TruthTable.var(0, 1)
-    merge_memo: Dict[Tuple[int, ...], Tuple[list, int]] = {}
+    merge_memo: Dict[Tuple[int, ...], tuple] = {}
+    spread_memo: Dict[int, int] = {}
+    evals = _EVAL_BY_CODE
+    trivial_only = _TRIVIAL_ONLY_CODES
+    c0 = _C_CONST0
+    c1 = _C_CONST1
+    var0 = _TT_VAR0_BITS
+    append_leaves = row_leaves.append
+    append_bits = row_bits.append
 
     for node in order:
-        g = gates[node]
-        if g in (Gate.CONST0, Gate.CONST1):
-            const_tt = TruthTable.const(g is Gate.CONST1, 0)
-            db[node] = [Cut((), const_tt)]
-            leaves_of[node] = [()]
-            bits_of[node] = [const_tt.bits]
+        c = codes[node]
+        start = len(row_bits)
+        rstart[node] = start
+        if c == c0 or c == c1:
+            append_leaves(())
+            append_bits(1 if c == c1 else 0)
+            rcount[node] = 1
             full_counts[node] = 1
             continue
-        if g is Gate.PI or g is Gate.T1_CELL or is_t1_tap(g):
-            db[node] = [Cut((node,), tt_var0)]
-            leaves_of[node] = [(node,)]
-            bits_of[node] = [tt_var0.bits]
+        if c in trivial_only:
+            append_leaves((node,))
+            append_bits(var0)
+            rcount[node] = 1
             full_counts[node] = 1
             continue
 
-        rows, total = _node_cut_rows(
-            g, fanins[node], leaves_of, bits_of, k, cuts_per_node, merge_memo
-        )
+        o = off[node]
+        d = deg[node]
+        if d == 2:
+            fins = (pool[o], pool[o + 1])
+        else:
+            fins = tuple(pool[o:o + d])
+        entry = merge_memo.get(fins)
+        if entry is None:
+            spans = [(rstart[f], rstart[f] + rcount[f]) for f in fins]
+            entry = _merge_spans(spans, row_leaves, k, cuts_per_node)
+            merge_memo[fins] = entry
+        kept, total = entry
         full_counts[node] = total
-        node_cuts = [Cut(key, TruthTable(bits, len(key))) for key, bits in rows]
-        node_leaves = [key for key, _bits in rows]
-        node_bits = [bits for _key, bits in rows]
+        for key, bits in _compose_kept(evals[c], kept, row_bits, spread_memo):
+            append_leaves(key)
+            append_bits(bits)
         if include_trivial:
-            node_cuts.append(Cut((node,), tt_var0))
-            node_leaves.append((node,))
-            node_bits.append(tt_var0.bits)
-        db[node] = node_cuts
-        leaves_of[node] = node_leaves
-        bits_of[node] = node_bits
+            append_leaves((node,))
+            append_bits(var0)
+        rcount[node] = len(row_bits) - start
 
-    return CutDatabase(
-        db,
-        k,
-        epoch=net.epoch,
-        cuts_per_node=cuts_per_node,
-        include_trivial=include_trivial,
-        full_counts=full_counts,
+    return CutDatabase._from_rows(
+        rstart, rcount, row_leaves, row_bits,
+        k, net.epoch, cuts_per_node, include_trivial, full_counts,
     )
 
 
@@ -601,9 +990,9 @@ def enumerate_cuts_reference(
 ) -> CutDatabase:
     """The seed per-candidate enumeration — the kernel's differential oracle.
 
-    Allocates a frozen dataclass pair per candidate and composes tables
-    through :class:`TruthTable` methods; results are bit-identical to
-    :func:`enumerate_cuts`.
+    Allocates a frozen dataclass pair per candidate, walks the tuple
+    views and composes tables through :class:`TruthTable` methods;
+    results are bit-identical to :func:`enumerate_cuts`.
     """
     if k < 1:
         raise NetworkError("cut size k must be >= 1")

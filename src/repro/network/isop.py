@@ -189,6 +189,15 @@ def cached_sop(tt: TruthTable) -> Tuple[Tuple[Cube, ...], int]:
     return _cached_sop_entry(tt.bits, tt.num_vars)
 
 
+def cached_sop_bits(bits: int, num_vars: int) -> Tuple[Tuple[Cube, ...], int]:
+    """:func:`cached_sop` keyed by raw table ints.
+
+    Same memo, no :class:`TruthTable` box — the lookup the array-native
+    rewrite kernel does straight from a cut database's flat row storage.
+    """
+    return _cached_sop_entry(bits, num_vars)
+
+
 def sop_cache_info():
     """``functools`` cache statistics of the resynthesis memo."""
     return _cached_sop_entry.cache_info()

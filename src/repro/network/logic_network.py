@@ -1394,3 +1394,27 @@ class LogicNetwork:
             f"LogicNetwork(name={self.name!r}, gates={s['gates']}, "
             f"pis={s['pis']}, pos={s['pos']}, t1={s['t1_cells']})"
         )
+
+
+def flat_arrays(net) -> Tuple[bytearray, array, array, array]:
+    """``(gate codes, fanin offsets, degrees, pool)`` of any network.
+
+    On the flat kernel this returns the live raw containers (zero-copy;
+    they alias the network, so snapshot them before mutating if you need
+    stability).  On a tuple-layout network (e.g. the retained
+    ``ReferenceLogicNetwork`` oracle) it builds an equivalent one-shot
+    snapshot — the shared fallback for every array-native consumer
+    (simulation schedule, cut enumeration, MFFC, balance, diff).
+    """
+    try:
+        return net.gate_codes, *net.fanin_arrays()
+    except AttributeError:
+        codes = bytearray(CODE_BY_GATE[g] for g in net.gates)
+        off = array("q")
+        deg = array("q")
+        pool = array("q")
+        for fins in net.fanins:
+            off.append(len(pool))
+            deg.append(len(fins))
+            pool.extend(fins)
+        return codes, off, deg, pool

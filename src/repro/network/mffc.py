@@ -23,12 +23,33 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
 
-from repro.network.gates import Gate, is_t1_tap
-from repro.network.logic_network import LogicNetwork
+from repro.network.gates import (
+    CODE_BY_GATE,
+    Gate,
+    SOURCE_CODES,
+    T1_TAP_CODES,
+)
+from repro.network.logic_network import LogicNetwork, flat_arrays
+
+#: gate codes a cone walk may absorb: plain logic only — sources
+#: (const/PI) always stop it, T1 cells and taps are the result of a
+#: previous mapping decision and are treated as atomic
+_ABSORBABLE = frozenset(
+    c
+    for c in range(len(CODE_BY_GATE))
+    if c not in SOURCE_CODES
+    and c not in T1_TAP_CODES
+    and c != CODE_BY_GATE[Gate.T1_CELL]
+)
 
 
 class MffcComputer:
-    """Reusable MFFC engine over a frozen network snapshot."""
+    """Reusable MFFC engine over a frozen network snapshot.
+
+    Walks gates and fanins straight off the flat struct-of-arrays core
+    (gate-code bytearray + CSR fanin pool) — no tuple views on the hot
+    path.
+    """
 
     def __init__(self, net: LogicNetwork):
         self.net = net
@@ -36,6 +57,7 @@ class MffcComputer:
         # reference counts (no edge rescan); the walk below mutates and
         # restores it
         self.refs = net.compute_fanout_counts()
+        self._codes, self._off, self._deg, self._pool = flat_arrays(net)
         # (root, sorted boundary tuple) -> frozen cone
         self._cone_cache: Dict[Tuple[int, Tuple[int, ...]], FrozenSet[int]] = {}
         self.cache_hits = 0
@@ -44,8 +66,7 @@ class MffcComputer:
 
     def _stoppable(self, node: int) -> bool:
         """Nodes at which the cone always stops (never absorbed)."""
-        g = self.net.gates[node]
-        return g in (Gate.CONST0, Gate.CONST1, Gate.PI)
+        return self._codes[node] in SOURCE_CODES
 
     def mffc(self, root: int, boundary: Iterable[int] = ()) -> Set[int]:
         """MFFC of *root*; *boundary* nodes are never absorbed.
@@ -75,33 +96,30 @@ class MffcComputer:
         matched nodes.  Computed by dereferencing all roots together, so
         shared internal nodes are absorbed once (no double counting).
         """
-        net = self.net
         refs = self.refs
+        codes = self._codes
+        off = self._off
+        deg = self._deg
+        pool = self._pool
+        absorbable = _ABSORBABLE
         stop = set(boundary)
-        roots = [
-            r
-            for r in roots
-            if not self._stoppable(r)
-            and net.gates[r] is not Gate.T1_CELL
-            and not is_t1_tap(net.gates[r])
-        ]
-        root_set = set(roots)
+        roots = [r for r in roots if codes[r] in absorbable]
         cone: Set[int] = set(roots)
         touched: List[int] = []
         worklist = list(roots)
 
         while worklist:
             u = worklist.pop()
-            for f in net.fanins[u]:
+            o = off[u]
+            for j in range(o, o + deg[u]):
+                f = pool[j]
                 refs[f] -= 1
                 touched.append(f)
                 if (
                     refs[f] == 0
                     and f not in stop
                     and f not in cone
-                    and not self._stoppable(f)
-                    and net.gates[f] is not Gate.T1_CELL
-                    and not is_t1_tap(net.gates[f])
+                    and codes[f] in absorbable
                 ):
                     cone.add(f)
                     worklist.append(f)

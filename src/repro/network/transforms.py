@@ -49,9 +49,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import NetworkError
 from repro.network.cleanup import strash
 from repro.network.cuts import cached_cut_database, install_cut_database
-from repro.network.gates import Gate, is_t1_tap
-from repro.network.isop import cached_sop, isop, sop_gate_count, synthesize_sop
-from repro.network.logic_network import CONST0, CONST1, LogicNetwork
+from repro.network.gates import CODE_BY_GATE, Gate, T1_TAP_CODES, is_t1_tap
+from repro.network.isop import cached_sop_bits, isop, sop_gate_count, synthesize_sop
+from repro.network.logic_network import CONST0, CONST1, LogicNetwork, flat_arrays
 from repro.network.mffc import MffcComputer
 from repro.network.traversal import structural_diff
 
@@ -137,6 +137,16 @@ _sop_gate_count = sop_gate_count
 #: skip gates that are free, interface or already-mapped
 _SKIP_GATES = (Gate.PI, Gate.CONST0, Gate.CONST1, Gate.BUF)
 
+#: code-level twins for the array-native kernel: nodes the queue never
+#: scores (free/interface/mapped) and nodes a cone counts as free
+_SKIP_CODES = frozenset(
+    {CODE_BY_GATE[g] for g in _SKIP_GATES} | {CODE_BY_GATE[Gate.T1_CELL]}
+    | T1_TAP_CODES
+)
+_FREE_CODES = frozenset(
+    CODE_BY_GATE[g] for g in (Gate.BUF, Gate.PI, Gate.CONST0, Gate.CONST1)
+)
+
 
 def refactor_reference(
     net: LogicNetwork,
@@ -197,21 +207,28 @@ def refactor_reference(
     return swept, accepted
 
 
-def _score_node(net, db, mffc, node) -> List[tuple]:
+def _score_node(codes, row_leaves, row_bits, rows, mffc, node) -> List[tuple]:
     """All positive-gain candidates of *node*, in cut order.
 
     Each entry is ``(gain, cut_index, leaves, cubes, cone)``, scored
     against an empty claimed-set (the optimistic upper bound the queue
     keys on); the pop-time filter re-applies the live claimed-set.
+    Reads the cut database's flat row storage (*rows* indexes into the
+    shared *row_leaves*/*row_bits* stores) and the gate-code bytearray —
+    no ``Cut``/``TruthTable`` boxes, SOP covers keyed by raw ints.
     """
     cands = []
-    for idx, cut in enumerate(db[node]):
-        leaves = cut.leaves
+    free = _FREE_CODES
+    for idx, ri in enumerate(rows):
+        leaves = row_leaves[ri]
         if len(leaves) < 2 or node in leaves:
             continue
         cone = mffc.mffc(node, boundary=leaves)
-        old_cost = _cone_cost(net, cone)
-        cubes, new_cost = cached_sop(cut.table)
+        old_cost = 0
+        for n in cone:
+            if codes[n] not in free:
+                old_cost += 1
+        cubes, new_cost = cached_sop_bits(row_bits[ri], len(leaves))
         gain = old_cost - new_cost
         if gain > 0:
             cands.append((gain, idx, leaves, cubes, cone))
@@ -248,17 +265,19 @@ def _refactor_pass(
 ) -> Tuple[LogicNetwork, int]:
     """One queue-driven rewrite pass; returns ``(mutated work copy, accepted)``."""
     work = net.clone()
-    gates = net.gates
+    codes = flat_arrays(net)[0]
+    row_leaves, row_bits = db.raw_rows()
     topo = net.topological_order()
     rank = {node: i for i, node in enumerate(topo)}
     heap: List[tuple] = []
     cands_of: Dict[int, List[tuple]] = {}
 
     for node in topo:
-        g = gates[node]
-        if g in _SKIP_GATES or g is Gate.T1_CELL or is_t1_tap(g):
+        if codes[node] in _SKIP_CODES:
             continue
-        cands = _score_node(net, db, mffc, node)
+        cands = _score_node(
+            codes, row_leaves, row_bits, db.node_rows(node), mffc, node
+        )
         if not cands:
             continue
         cands_of[node] = cands

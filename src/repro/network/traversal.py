@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Iterable, List, Mapping, Sequence, Set
 
 from repro.network.gates import is_t1_tap
-from repro.network.logic_network import LogicNetwork
+from repro.network.logic_network import LogicNetwork, flat_arrays
 
 
 def topological_order(net: LogicNetwork) -> List[int]:
@@ -53,6 +53,7 @@ def depth(net: LogicNetwork) -> int:
 
 def transitive_fanin(net: LogicNetwork, roots: Iterable[int]) -> Set[int]:
     """All nodes in the cone of influence of *roots* (roots included)."""
+    _codes, off, deg, pool = flat_arrays(net)
     seen: Set[int] = set()
     stack = list(roots)
     while stack:
@@ -60,7 +61,8 @@ def transitive_fanin(net: LogicNetwork, roots: Iterable[int]) -> Set[int]:
         if u in seen:
             continue
         seen.add(u)
-        stack.extend(net.fanins[u])
+        o = off[u]
+        stack.extend(pool[o:o + deg[u]])
     return seen
 
 
@@ -101,6 +103,8 @@ def structural_diff(
             inv[m] = o
     old_counts = old_net.compute_fanout_counts()
     new_counts = new_net.compute_fanout_counts()
+    old_codes, old_off, old_deg, old_pool = flat_arrays(old_net)
+    new_codes, new_off, new_deg, new_pool = flat_arrays(new_net)
     get_new = node_map.get
     seeds: List[int] = []
     for m in new_net.nodes():
@@ -108,11 +112,17 @@ def structural_diff(
         if o is None or m in multi:
             seeds.append(m)
             continue
-        if old_net.gates[o] is not new_net.gates[m]:
+        if old_codes[o] != new_codes[m]:
             seeds.append(m)
             continue
-        mapped = [get_new(f, -1) for f in old_net.fanins[o]]
-        if -1 in mapped or sorted(mapped) != sorted(new_net.fanins[m]):
+        d = old_deg[o]
+        if d != new_deg[m]:
+            seeds.append(m)
+            continue
+        oo = old_off[o]
+        mapped = [get_new(old_pool[j], -1) for j in range(oo, oo + d)]
+        no = new_off[m]
+        if -1 in mapped or sorted(mapped) != sorted(new_pool[no:no + d]):
             seeds.append(m)
             continue
         if old_counts[o] != new_counts[m]:

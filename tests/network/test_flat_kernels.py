@@ -1,0 +1,309 @@
+"""Differential fuzz of the array-native analysis/rewrite kernels.
+
+PR 9 ported the hot loops of cut enumeration, MFFC computation,
+balancing, ``structural_diff`` and the refactor scorer onto the flat
+struct-of-arrays core (``gate_codes`` + CSR fanin pool).  These tests
+pin the ports three ways:
+
+* **vs the retained oracles** — ``enumerate_cuts`` against
+  ``enumerate_cuts_reference`` on fuzzed mutator sequences and on the
+  ``--scale`` synthetic generators;
+* **vs the tuple kernel** — every ported pass also runs on a
+  ``ReferenceLogicNetwork`` replay of the same circuit (exercising the
+  ``flat_arrays`` snapshot fallback) and must produce identical
+  results, including across ``compact()`` NodeMap events;
+* **numpy lanes in lockstep** — the cut-merge lane (forced via
+  ``NUMPY_MERGE_MIN_PRODUCT``) and the ``engine="numpy"`` simulation
+  lane against the pure-python paths, plus the ``REPRO_NO_NUMPY``
+  kill switch.
+
+The mutator machinery is shared with ``test_flat_core``.
+"""
+
+import random
+
+import pytest
+
+import repro.network.cuts as cuts_mod
+import repro.util as util
+from repro.circuits.synthetic import build_synthetic
+from repro.errors import SimulationError
+from repro.network import (
+    Gate,
+    LogicNetwork,
+    MffcComputer,
+    balance,
+    enumerate_cuts,
+    enumerate_cuts_reference,
+    simulate,
+    structural_diff,
+)
+from repro.network.cuts import cached_cut_database
+from repro.network.gates import is_t1_tap
+from repro.network.logic_network_reference import ReferenceLogicNetwork
+from repro.network.simulation import random_patterns
+
+from tests.network.test_flat_core import _fuzz_round, _seed_pair
+
+
+def rows_of(db):
+    """Per-node ``(leaves, bits)`` rows — the full cut-set surface."""
+    rl, rb = db.raw_rows()
+    return [
+        [(rl[i], rb[i]) for i in db.node_rows(n)]
+        for n in range(len(db.cuts))
+    ]
+
+
+def to_reference(net):
+    """Replay *net* node-for-node into the retained tuple kernel."""
+    ref = ReferenceLogicNetwork(net.name)
+    for n in range(2, net.num_nodes()):
+        g = net.gate(n)
+        if g is Gate.PI:
+            ref.add_pi(net.get_name(n))
+        elif g is Gate.T1_CELL:
+            ref.add_t1_cell(*net.fanin(n))
+        elif is_t1_tap(g):
+            ref.add_t1_tap(net.fanin(n)[0], g)
+        else:
+            ref.add_gate(g, net.fanin(n))
+    for po, name in zip(net.pos, net.po_names):
+        ref.add_po(po, name)
+    assert ref.structural_hash() == net.structural_hash()
+    return ref
+
+
+def _fuzzed_pair(seed, n_ops=80, allow_t1=True):
+    rng = random.Random(f"flat-kernels:{seed}")
+    flat, ref = _seed_pair()
+    _fuzz_round(rng, flat, ref, n_ops=n_ops, allow_t1=allow_t1)
+    if not flat.pos:
+        sink = flat.num_nodes() - 1
+        flat.add_po(sink)
+        ref.add_po(sink)
+    return rng, flat, ref
+
+
+class TestCutKernelDifferential:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_fuzzed_networks_match_oracle(self, seed, k):
+        _rng, flat, ref = _fuzzed_pair(seed)
+        kernel = rows_of(enumerate_cuts(flat, k=k))
+        oracle = rows_of(enumerate_cuts_reference(flat, k=k))
+        assert kernel == oracle
+        # the snapshot fallback of flat_arrays: same kernel, tuple net
+        assert rows_of(enumerate_cuts(ref, k=k)) == oracle
+
+    @pytest.mark.parametrize("name", ["datapath", "cascade"])
+    def test_scale_synthetics_match_oracle(self, name):
+        net = build_synthetic(name, 3000, seed=5)
+        assert rows_of(enumerate_cuts(net, k=4)) == rows_of(
+            enumerate_cuts_reference(net, k=4)
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_remap_across_compact_event(self, seed):
+        """A compact() NodeMap is just another remap event: the carried
+        database must equal from-scratch enumeration on the new net."""
+        _rng, flat, _ref = _fuzzed_pair(seed, n_ops=60)
+        db = enumerate_cuts(flat, k=3)
+        work = flat.clone()
+        nm = work.compact()
+        carried = db.remap(flat, work, nm)
+        assert rows_of(carried) == rows_of(enumerate_cuts(work, k=3))
+        assert carried.epoch == work.epoch
+
+    def test_nbytes_reports_flat_storage(self):
+        net = build_synthetic("datapath", 2000, seed=0)
+        small = enumerate_cuts(net, k=3)
+        large = enumerate_cuts(net, k=4)
+        assert small.nbytes() > 0
+        # wider cuts mean more and longer rows
+        assert large.nbytes() > small.nbytes()
+
+    def test_materialised_cuts_identity_stable(self):
+        net = build_synthetic("datapath", 500, seed=1)
+        db = enumerate_cuts(net, k=3)
+        node = net.num_nodes() - 1
+        assert db[node][0] is db[node][0]
+        assert len(db.cuts) == net.num_nodes()
+
+
+class TestCutLeafIndex:
+    def test_cut_with_leaves_hits_enumerated_cuts(self):
+        net = build_synthetic("datapath", 800, seed=2)
+        db = cached_cut_database(net, k=3)
+        node = net.num_nodes() - 1
+        for cut in db[node]:
+            assert db.cut_with_leaves(node, cut.leaves) is cut
+        assert db.cut_with_leaves(node, (0, 1)) is None
+
+    def test_index_carried_on_identity_remap(self):
+        """An id-preserving event (clone + identity map, e.g. a pass
+        that changed nothing): warm leaf indices and materialised cuts
+        ride along instead of being rebuilt per database."""
+        net = build_synthetic("datapath", 800, seed=3)
+        db = enumerate_cuts(net, k=3)
+        warm_nodes = range(net.num_nodes() - 20, net.num_nodes())
+        for node in warm_nodes:
+            db.cut_with_leaves(node, db[node][0].leaves)
+        work = net.clone()
+        nm = {n: n for n in range(net.num_nodes())}
+        carried = db.remap(net, work, nm)
+        assert carried.remap_index_carried == len(list(warm_nodes))
+        for node in warm_nodes:
+            leaves = carried[node][0].leaves
+            assert carried.cut_with_leaves(node, leaves).leaves == leaves
+
+    def test_stale_epoch_drops_index(self):
+        net = build_synthetic("datapath", 400, seed=4)
+        db = cached_cut_database(net, k=3)
+        node = net.num_nodes() - 1
+        leaves = db[node][0].leaves
+        assert db.cut_with_leaves(node, leaves) is not None
+        # simulate re-adoption at another epoch: the stamp no longer
+        # matches, so the whole index must be discarded, not served
+        db.epoch += 1
+        assert db._leaf_index_epoch != db.epoch
+        assert db.cut_with_leaves(node, leaves).leaves == leaves
+        assert db._leaf_index_epoch == db.epoch
+
+
+class TestMffcDifferential:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fuzzed_networks_match_tuple_kernel(self, seed):
+        rng, flat, ref = _fuzzed_pair(seed)
+        mf = MffcComputer(flat)
+        mr = MffcComputer(ref)
+        n = flat.num_nodes()
+        roots = [rng.randrange(2, n) for _ in range(30)]
+        for root in roots:
+            assert mf.mffc(root) == mr.mffc(root)
+            boundary = flat.fanin(root)
+            assert mf.mffc(root, boundary) == mr.mffc(root, boundary)
+        group = [rng.randrange(2, n) for _ in range(5)]
+        assert mf.mffc_union(group) == mr.mffc_union(group)
+
+    def test_scale_synthetic_matches_tuple_kernel(self):
+        net = build_synthetic("datapath", 3000, seed=6)
+        ref = to_reference(net)
+        mf = MffcComputer(net)
+        mr = MffcComputer(ref)
+        for root in range(net.num_nodes() - 50, net.num_nodes()):
+            assert mf.mffc(root) == mr.mffc(root)
+
+
+class TestBalanceDifferential:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fuzzed_networks_lockstep(self, seed):
+        _rng, flat, ref = _fuzzed_pair(seed)
+        out_f, nm_f = balance(flat)
+        out_r, nm_r = balance(ref)
+        assert dict(nm_f) == dict(nm_r)
+        assert list(out_f.gates) == list(out_r.gates)
+        assert list(out_f.fanins) == list(out_r.fanins)
+        assert out_f.pos == out_r.pos
+        assert out_f.structural_hash() == out_r.structural_hash()
+
+    def test_scale_synthetic_lockstep(self):
+        net = build_synthetic("cascade", 3000, seed=7)
+        ref = to_reference(net)
+        out_f, nm_f = balance(net)
+        out_r, nm_r = balance(ref)
+        assert dict(nm_f) == dict(nm_r)
+        assert out_f.structural_hash() == out_r.structural_hash()
+
+
+class TestStructuralDiffDifferential:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_compact_event_lockstep(self, seed):
+        rng, flat, ref = _fuzzed_pair(seed)
+        new_f = flat.clone()
+        nm_f = new_f.compact()
+        new_r = ref.clone()
+        nm_r = new_r.compact()
+        assert dict(nm_f) == dict(nm_r)
+        # perturb the compacted nets in lockstep so the diff is nonempty
+        n = new_f.num_nodes()
+        for _ in range(5):
+            node = rng.randrange(2, n)
+            fins = new_f.fanin(node)
+            if not fins:
+                continue
+            old = fins[rng.randrange(len(fins))]
+            new = rng.randrange(node)
+            new_f.replace_fanin(node, old, new)
+            new_r.replace_fanin(node, old, new)
+        dirty_f = structural_diff(flat, new_f, nm_f)
+        dirty_r = structural_diff(ref, new_r, nm_r)
+        assert dirty_f == dirty_r
+
+
+needs_numpy = pytest.mark.skipif(
+    not util.have_numpy(), reason="numpy unavailable"
+)
+
+
+class TestNumpyLanes:
+    @needs_numpy
+    @pytest.mark.parametrize("seed", range(3))
+    def test_merge_lane_lockstep(self, seed, monkeypatch):
+        """Forcing the product threshold to 1 routes every 2-fanin merge
+        through the vectorised lane; rows must stay bit-identical."""
+        _rng, flat, _ref = _fuzzed_pair(seed)
+        pure = rows_of(enumerate_cuts(flat, k=4))
+        monkeypatch.setattr(cuts_mod, "NUMPY_MERGE_MIN_PRODUCT", 1)
+        assert rows_of(enumerate_cuts(flat, k=4)) == pure
+
+    @needs_numpy
+    def test_merge_lane_on_synthetic(self, monkeypatch):
+        net = build_synthetic("datapath", 2000, seed=8)
+        pure = rows_of(enumerate_cuts(net, k=4, cuts_per_node=16))
+        monkeypatch.setattr(cuts_mod, "NUMPY_MERGE_MIN_PRODUCT", 1)
+        assert rows_of(enumerate_cuts(net, k=4, cuts_per_node=16)) == pure
+
+    @needs_numpy
+    @pytest.mark.parametrize("seed", range(3))
+    def test_simulation_engine_lockstep(self, seed):
+        rng = random.Random(f"np-sim:{seed}")
+        flat, ref = _seed_pair()
+        # taps rewired off their cell have no simulation semantics
+        _fuzz_round(rng, flat, ref, n_ops=100, allow_t1=False)
+        width = 64
+        pats = random_patterns(len(flat.pis), width, seed=seed)
+        py = simulate(flat, pats, width, engine="python")
+        assert simulate(flat, pats, width, engine="numpy") == py
+        assert simulate(flat, pats, width, engine="auto") == py
+
+    @needs_numpy
+    def test_numpy_engine_rejects_wide_words(self):
+        net = build_synthetic("datapath", 200, seed=9)
+        pats = random_patterns(len(net.pis), 128, seed=0)
+        with pytest.raises(SimulationError):
+            simulate(net, pats, 128, engine="numpy")
+
+    def test_unknown_engine_rejected(self):
+        net = build_synthetic("datapath", 200, seed=9)
+        pats = random_patterns(len(net.pis), 8, seed=0)
+        with pytest.raises(SimulationError):
+            simulate(net, pats, 8, engine="cuda")
+
+    def test_no_numpy_env_kills_the_lanes(self, monkeypatch):
+        monkeypatch.setenv(util.NO_NUMPY_ENV, "1")
+        monkeypatch.setattr(cuts_mod, "NUMPY_MERGE_MIN_PRODUCT", 1)
+        util.reset_numpy_probe()
+        try:
+            assert not util.have_numpy()
+            net = build_synthetic("datapath", 1000, seed=10)
+            # cut merges fall back to the pure loop, bit-identically
+            assert rows_of(enumerate_cuts(net, k=4)) == rows_of(
+                enumerate_cuts_reference(net, k=4)
+            )
+            pats = random_patterns(len(net.pis), 16, seed=1)
+            with pytest.raises(SimulationError):
+                simulate(net, pats, 16, engine="numpy")
+        finally:
+            monkeypatch.delenv(util.NO_NUMPY_ENV)
+            util.reset_numpy_probe()
