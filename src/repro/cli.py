@@ -150,6 +150,8 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_table(args) -> int:
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal PATH")
     table = run_table(
         benchmarks=args.benchmarks or list(names()),
         preset=args.preset,
@@ -160,6 +162,8 @@ def _cmd_table(args) -> int:
         progress=lambda name: print(f"[{name}: done]", file=sys.stderr),
         # registry names and external .blif/.bench files both work
         loader=lambda name: _load_network(name, args.preset),
+        journal_path=args.journal,
+        resume=args.resume,
     )
     print(table.format())
     return 0
@@ -178,8 +182,10 @@ def _client(args):
 
 
 def _cmd_serve(args) -> int:
+    from repro.faults import parse_plan
     from repro.service.server import FlowDaemon
 
+    fault_plan = parse_plan(args.faults) if args.faults else None
     daemon = FlowDaemon(
         host=args.host,
         port=args.port,
@@ -189,6 +195,8 @@ def _cmd_serve(args) -> int:
         cache_entries=args.cache_entries,
         drain_timeout_s=args.drain_timeout,
         verbose=args.verbose,
+        job_max_attempts=args.job_max_attempts,
+        fault_plan=fault_plan,
     )
     daemon.start()
     host, port = daemon.address
@@ -337,6 +345,12 @@ def make_parser() -> argparse.ArgumentParser:
     tab_p.add_argument("--sweeps", type=int, default=4)
     tab_p.add_argument("--jobs", "-j", type=int, default=1,
                        help="worker processes for the batch runner")
+    tab_p.add_argument("--journal", default=None, metavar="PATH",
+                       help="checkpoint every finished flow to an "
+                            "append-only journal file")
+    tab_p.add_argument("--resume", action="store_true",
+                       help="resume from an existing --journal, re-running "
+                            "only the unfinished flows")
     tab_p.set_defaults(fn=_cmd_table)
 
     serve_p = sub.add_parser(
@@ -358,6 +372,12 @@ def make_parser() -> argparse.ArgumentParser:
                               "SIGTERM before hard shutdown")
     serve_p.add_argument("--verbose", action="store_true",
                          help="log every HTTP request to stderr")
+    serve_p.add_argument("--job-max-attempts", type=int, default=3,
+                         help="attempts before a worker-crashing job is "
+                              "quarantined")
+    serve_p.add_argument("--faults", default=None, metavar="PLAN",
+                         help="deterministic fault-injection plan, e.g. "
+                              "'seed=7;worker.crash@nth=2' (testing only)")
     serve_p.set_defaults(fn=_cmd_serve)
 
     submit_p = sub.add_parser(

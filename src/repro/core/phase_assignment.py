@@ -40,7 +40,8 @@ from repro.core.schedule import (
     t1_lower_bound,
     _t1_eval,
 )
-from repro.errors import SolverError, SolverLimitError
+from repro import faults
+from repro.errors import FaultInjected, SolverError, SolverLimitError
 from repro.sfq.multiphase import edge_dffs
 from repro.sfq.netlist import CellKind, NetlistStructure, SFQNetlist, Signal
 
@@ -459,15 +460,19 @@ def assign_stages_ilp(
     netlist: SFQNetlist,
     horizon: Optional[int] = None,
     node_limit: int = 50_000,
+    time_budget_s: Optional[float] = None,
 ) -> None:
     """Exact phase assignment on the MILP backend; small netlists only.
 
     Objective: per-edge DFF proxy Σ(k_e − 1) with n·k_e ≥ σ_v − σ_u — the
     formulation of ref. [10] extended with the T1 offset permutation of
-    eq. 3.  Sets ``cell.stage`` in place.
+    eq. 3.  Sets ``cell.stage`` in place.  *time_budget_s* caps the
+    wall-clock spent in the search (see :meth:`SolverModel.solve`).
     """
     model, sigma, _ = build_ilp_model(netlist, horizon=horizon)
-    sol = model.solve(backend="auto", node_limit=node_limit)
+    sol = model.solve(
+        backend="auto", node_limit=node_limit, time_budget_s=time_budget_s
+    )
     for cell in netlist.cells:
         if cell.clocked:
             cell.stage = sol.int_value(sigma[cell.index])
@@ -479,20 +484,33 @@ def assign_stages_ilp(
 AUTO_ILP_MAX_CELLS = 24
 AUTO_ILP_MAX_T1 = 4
 
+#: wall-clock budget for the exact branch of method="auto": a search
+#: that runs past this falls back to the heuristic (degraded result)
+#: instead of stalling the flow.
+AUTO_TIME_BUDGET_S = 10.0
+
 
 def assign_stages(
     netlist: SFQNetlist,
     method: str = "heuristic",
     **kwargs,
-) -> None:
+) -> Dict[str, object]:
     """Dispatch on *method* ("heuristic", "ilp" or "auto").
 
     ``method="auto"`` picks exact-vs-heuristic by size: netlists with at
     most :data:`AUTO_ILP_MAX_CELLS` clocked cells (and at most
     :data:`AUTO_ILP_MAX_T1` T1 blocks) get the exact ILP; larger ones the
-    kernel heuristic.  If the exact search exhausts its node budget —
-    with or without an incumbent — auto falls back to the heuristic
-    instead of failing or committing an unproven solution.
+    kernel heuristic.  The exact search runs under a node budget and a
+    wall-clock budget (``time_budget_s``, default
+    :data:`AUTO_TIME_BUDGET_S`); exhausting either — with or without an
+    incumbent — degrades to the heuristic instead of failing or
+    committing an unproven solution.
+
+    Returns an info dict: ``method`` ("heuristic" or "ilp") is the
+    engine that produced the committed stages, ``degraded`` is True only
+    when the exact engine was attempted and fell back, and ``reason``
+    says why.  The ``solver.exact`` fault point (see
+    :mod:`repro.faults`) forces that fallback deterministically.
 
     Note that the two engines optimise different objectives: the ILP is
     exact on the per-edge proxy Σ(k_e − 1) with PIs pinned at stage 0,
@@ -501,32 +519,54 @@ def assign_stages(
     """
     if method == "heuristic":
         assign_stages_heuristic(netlist, **kwargs)
+        return {"method": "heuristic", "degraded": False, "reason": None}
     elif method == "ilp":
         assign_stages_ilp(netlist, **kwargs)
+        return {"method": "ilp", "degraded": False, "reason": None}
     elif method == "auto":
         ilp_kwargs = {
-            k: kwargs[k] for k in ("horizon", "node_limit") if k in kwargs
+            k: kwargs[k]
+            for k in ("horizon", "node_limit", "time_budget_s")
+            if k in kwargs
         }
         heur_kwargs = {k: v for k, v in kwargs.items() if k not in ilp_kwargs}
         clocked = sum(1 for c in netlist.cells if c.clocked)
         n_t1 = sum(1 for c in netlist.cells if c.kind is CellKind.T1)
         if clocked <= AUTO_ILP_MAX_CELLS and n_t1 <= AUTO_ILP_MAX_T1:
-            model, sigma, _ = build_ilp_model(
-                netlist, horizon=ilp_kwargs.get("horizon")
-            )
+            reason: Optional[str] = None
             try:
+                faults.fire(
+                    "solver.exact", "simulated exact-solver failure"
+                )
+                model, sigma, _ = build_ilp_model(
+                    netlist, horizon=ilp_kwargs.get("horizon")
+                )
                 sol = model.solve(
                     backend="auto",
                     node_limit=ilp_kwargs.get("node_limit", 50_000),
+                    time_budget_s=ilp_kwargs.get(
+                        "time_budget_s", AUTO_TIME_BUDGET_S
+                    ),
                 )
-            except SolverLimitError:
-                sol = None  # no incumbent at the node limit
+            except FaultInjected as exc:
+                sol = None
+                reason = str(exc)
+            except SolverLimitError as exc:
+                sol = None  # no incumbent within the budgets
+                reason = f"exact search budget exhausted: {exc}"
             if sol is not None and sol.optimal:
                 for cell in netlist.cells:
                     if cell.clocked:
                         cell.stage = sol.int_value(sigma[cell.index])
-                return
+                return {"method": "ilp", "degraded": False, "reason": None}
+            if sol is not None:
+                reason = (
+                    "exact search budget exhausted with unproven incumbent"
+                )
             # budget exhausted (unproven incumbent or none) -> heuristic
+            assign_stages_heuristic(netlist, **heur_kwargs)
+            return {"method": "heuristic", "degraded": True, "reason": reason}
         assign_stages_heuristic(netlist, **heur_kwargs)
+        return {"method": "heuristic", "degraded": False, "reason": None}
     else:
         raise SolverError(f"unknown phase-assignment method {method!r}")

@@ -91,6 +91,28 @@ class ServiceError(ReproError):
         super().__init__(message)
 
 
+class FaultPlanError(ReproError):
+    """A ``repro.faults`` plan string could not be parsed."""
+
+
+class FaultInjected(ReproError):
+    """An injected fault fired at a named fault point.
+
+    Raised by fault points whose failure mode is "this operation
+    errors" (cache access, batch collection, solver search...).  The
+    resilience layers are expected to handle it exactly like the real
+    failure it stands in for; seeing it escape to a caller means a
+    recovery path is missing.
+    """
+
+    def __init__(self, point: str, detail: str = ""):
+        self.point = point
+        message = f"injected fault at {point!r}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
 class EquivalenceError(ReproError):
     """Two networks that must be equivalent are not (includes witness)."""
 

@@ -24,12 +24,15 @@ new code composes flows from passes::
 
 from repro.pipeline.base import Pass
 from repro.pipeline.batch import (
+    ResumedResult,
     baseline_pipelines,
+    pipeline_fingerprint,
     run_many,
     run_table,
     warm_worker,
 )
 from repro.pipeline.context import FlowContext
+from repro.pipeline.journal import BatchJournal
 from repro.pipeline.passes import (
     BalancePass,
     DecomposePass,
@@ -46,6 +49,7 @@ from repro.pipeline.pipeline import Pipeline, PipelineHooks
 
 __all__ = [
     "BalancePass",
+    "BatchJournal",
     "DecomposePass",
     "DffInsertPass",
     "FlowContext",
@@ -56,10 +60,12 @@ __all__ = [
     "Pipeline",
     "PipelineHooks",
     "RefactorPass",
+    "ResumedResult",
     "SplitterPass",
     "T1DetectPass",
     "VerifyMetricsPass",
     "baseline_pipelines",
+    "pipeline_fingerprint",
     "run_many",
     "run_table",
     "warm_worker",

@@ -1,0 +1,136 @@
+"""Crash-safe batch checkpointing: the append-only job journal.
+
+``run_many``/``run_table`` sweeps over large circuit sets lose all
+completed work when the process dies mid-sweep.  A :class:`BatchJournal`
+fixes that: every finished job appends one JSON line — flushed and
+fsync'd before the next job starts — so a kill at any instant preserves
+every *completed* result, and a resumed run re-executes only the
+unfinished remainder.
+
+File format (``repro-batch-journal/v1``, one strict-JSON object per
+line)::
+
+    {"schema": "repro-batch-journal/v1", "meta": {...}}     # header
+    {"key": "<job key>", "report": {...}}                   # one per job
+
+* the header's ``meta`` fingerprints the sweep configuration; resuming
+  with a different configuration is an error, not a silent mix of
+  incompatible results;
+* job keys are content addresses — submission index, the circuit's
+  ``structural_hash()`` and the pipeline fingerprint — so a journal can
+  never replay a result onto a different circuit or flow;
+* a torn final line (the crash happened mid-write) is detected and
+  dropped on load; every fully-written line is recovered.
+
+Replayed results are bit-identical by construction: the journal stores
+the finished flow report itself, not a recomputation recipe.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import PipelineError
+from repro.io.json_report import canonical_dumps, strict_loads
+
+#: schema tag on the journal header line
+JOURNAL_SCHEMA = "repro-batch-journal/v1"
+
+
+class BatchJournal:
+    """Append-only, fsync'd, resumable record of finished batch jobs."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        meta: Optional[Dict[str, Any]] = None,
+        resume: bool = False,
+    ):
+        self.path = Path(path)
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self._done: Dict[str, Dict[str, Any]] = {}
+        self._written = 0  # results recorded by *this* run
+        if resume and self.path.exists():
+            self._load()
+            self._fh = open(self.path, "a", encoding="utf-8")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "w", encoding="utf-8")
+            self._append({"schema": JOURNAL_SCHEMA, "meta": self.meta})
+
+    # -- persistence ---------------------------------------------------------
+
+    def _append(self, obj: Dict[str, Any]) -> None:
+        self._fh.write(canonical_dumps(obj) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def _load(self) -> None:
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            raise PipelineError(f"journal {self.path} is empty")
+        try:
+            header = strict_loads(lines[0])
+        except ValueError as exc:
+            raise PipelineError(
+                f"journal {self.path} has a corrupt header: {exc}"
+            ) from exc
+        if not isinstance(header, dict) or header.get("schema") != JOURNAL_SCHEMA:
+            raise PipelineError(
+                f"journal {self.path} is not a {JOURNAL_SCHEMA} file"
+            )
+        if self.meta and header.get("meta") != self.meta:
+            raise PipelineError(
+                f"journal {self.path} was written by a different sweep "
+                f"configuration (journal meta {header.get('meta')!r} != "
+                f"current {self.meta!r}); use a fresh journal path"
+            )
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                entry = strict_loads(line)
+                key = entry["key"]
+                report = entry["report"]
+            except (ValueError, KeyError, TypeError) as exc:
+                if lineno == len(lines):
+                    # torn final line: the crash hit mid-append; every
+                    # earlier line was fsync'd before the next job ran
+                    break
+                raise PipelineError(
+                    f"journal {self.path} line {lineno} is corrupt: {exc}"
+                ) from exc
+            self._done[key] = report
+
+    # -- API -----------------------------------------------------------------
+
+    def completed(self, key: str) -> Optional[Dict[str, Any]]:
+        """The journaled report for *key*, or ``None`` if not finished."""
+        return self._done.get(key)
+
+    def record(self, key: str, report: Dict[str, Any]) -> None:
+        """Durably append one finished job before anything else runs."""
+        self._append({"key": key, "report": report})
+        self._done[key] = report
+        self._written += 1
+
+    @property
+    def completed_count(self) -> int:
+        return len(self._done)
+
+    @property
+    def written_count(self) -> int:
+        """Results recorded by this run (excludes resumed entries)."""
+        return self._written
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "BatchJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

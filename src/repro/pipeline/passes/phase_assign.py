@@ -32,7 +32,7 @@ class PhaseAssignPass:
                 "phase_assign needs a mapped netlist — run 'map_to_sfq' first"
             )
         if self.method in ("heuristic", "auto"):
-            assign_stages(
+            info = assign_stages(
                 ctx.netlist,
                 method=self.method,
                 sweeps=self.sweeps,
@@ -40,7 +40,18 @@ class PhaseAssignPass:
                 free_pi_phases=self.free_pi_phases,
             )
         else:
-            assign_stages(ctx.netlist, method=self.method)
+            info = assign_stages(ctx.netlist, method=self.method)
+        if info.get("degraded"):
+            # surfaced in the flow report so a budget-limited exact run
+            # is distinguishable from a clean one
+            ctx.extras["degraded"] = True
+            ctx.extras["degraded_reason"] = (
+                f"phase_assign: {info.get('reason') or 'exact solver fell back'}"
+            )
+            ctx.log(
+                f"phase_assign: degraded to {info['method']} "
+                f"({info.get('reason')})"
+            )
         ctx.log(f"phase_assign: method={self.method}")
         return ctx
 

@@ -31,8 +31,11 @@ Layers (bottom-up):
 from repro.service.cache import ResultCache
 from repro.service.client import ServiceClient
 from repro.service.protocol import (
+    JOB_STATES,
     PIPELINE_DEFAULTS,
+    QUARANTINED,
     REPORT_SCHEMA,
+    TERMINAL_STATES,
     bench_circuit,
     blif_circuit,
     build_pipeline,
@@ -56,8 +59,11 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "JOB_STATES",
     "PIPELINE_DEFAULTS",
+    "QUARANTINED",
     "REPORT_SCHEMA",
+    "TERMINAL_STATES",
     "DrainingError",
     "FlowDaemon",
     "FlowService",

@@ -21,6 +21,8 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional
 
+from repro import faults
+
 
 class ResultCache:
     """Bounded, thread-safe, content-addressed report store."""
@@ -36,7 +38,12 @@ class ResultCache:
         self._evictions = 0
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The cached report for *key* (a fresh copy), or ``None``."""
+        """The cached report for *key* (a fresh copy), or ``None``.
+
+        The ``cache.get`` fault point simulates a lookup failure
+        (storage error, corrupt entry); callers must treat it as a miss.
+        """
+        faults.fire("cache.get", "simulated cache lookup failure")
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -47,7 +54,12 @@ class ResultCache:
             return copy.deepcopy(entry)
 
     def put(self, key: str, report: Dict[str, Any]) -> None:
-        """Store a finished report under its content address."""
+        """Store a finished report under its content address.
+
+        The ``cache.put`` fault point simulates a store failure; callers
+        must treat it as "not cached", never as a job failure.
+        """
+        faults.fire("cache.put", "simulated cache store failure")
         with self._lock:
             self._entries[key] = copy.deepcopy(report)
             self._entries.move_to_end(key)

@@ -72,7 +72,12 @@ QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
-JOB_STATES = (QUEUED, RUNNING, DONE, FAILED)
+#: terminal poisoned-job state: the job crashed its worker on every
+#: allowed attempt and will never be retried again
+QUARANTINED = "quarantined"
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, QUARANTINED)
+#: states a job can never leave
+TERMINAL_STATES = (DONE, FAILED, QUARANTINED)
 
 
 def normalize_config(config: Optional[Dict[str, Any]]) -> Dict[str, Any]:
@@ -232,4 +237,8 @@ def flow_report(
         "timings": dict(ctx.timings),
         "events": list(ctx.events),
         "cached": cached,
+        # solver graceful degradation: True when an exact solve fell
+        # back to the heuristic (budget exhausted or injected fault)
+        "degraded": bool(ctx.extras.get("degraded", False)),
+        "degraded_reason": ctx.extras.get("degraded_reason"),
     }

@@ -20,11 +20,26 @@ one-thread-one-process shape is what buys the serving guarantees:
   in-flight job;
 * **backpressure** — the queue is bounded; :meth:`submit` never blocks.
   A full queue raises :class:`QueueFullError` (the server's 429) instead
-  of buffering unbounded work.
+  of buffering unbounded work;
+* **crash retries + quarantine** — an infrastructure failure (worker
+  crash, broken pipe) requeues the job for another attempt; a job that
+  kills its worker :attr:`job_max_attempts` times is *quarantined* with
+  a diagnostic instead of being retried forever.  Flow errors and
+  timeouts are deterministic, so they fail immediately with no retry.
 
-Jobs are plain state machines (``queued -> running -> done | failed``)
-with a :class:`threading.Event` for waiters; the pool reports every
-outcome through ``on_job_done`` — a job is *failed*, never lost.
+Jobs are plain state machines (``queued -> running -> done | failed |
+quarantined``) with a :class:`threading.Event` for waiters; the pool
+reports every outcome through ``on_job_done`` — a job is *failed* or
+*quarantined*, never lost.
+
+Fault points (see :mod:`repro.faults`; all evaluated in the dispatcher
+thread so nth-hit schedules stay deterministic across worker respawns):
+
+* ``worker.crash`` — the worker hard-exits on this job attempt;
+* ``worker.hang`` — the worker sleeps past the job timeout;
+* ``worker.flow_error`` — the flow raises inside the worker;
+* ``dispatch.pipe`` — the worker dies just before dispatch (exercises
+  the respawn-and-resend path without failing the job).
 """
 
 from __future__ import annotations
@@ -39,12 +54,14 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro import faults
 from repro.errors import ServiceError
 from repro.network.logic_network import LogicNetwork
 from repro.pipeline.batch import warm_worker
 from repro.service.protocol import (
     DONE,
     FAILED,
+    QUARANTINED,
     QUEUED,
     RUNNING,
     build_pipeline,
@@ -85,6 +102,8 @@ class Job:
     report: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     cached: bool = False
+    attempts: int = 0
+    retryable: bool = False
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -96,9 +115,18 @@ class Job:
         self.finished_at = time.time()
         self.done.set()
 
-    def finish_failed(self, error: str) -> None:
+    def finish_failed(self, error: str, retryable: bool = False) -> None:
         self.error = error
+        self.retryable = retryable
         self.state = FAILED
+        self.finished_at = time.time()
+        self.done.set()
+
+    def finish_quarantined(self, error: str) -> None:
+        """Terminal poisoned-job state: never retried, never lost."""
+        self.error = error
+        self.retryable = False
+        self.state = QUARANTINED
         self.finished_at = time.time()
         self.done.set()
 
@@ -109,6 +137,8 @@ class Job:
             "state": self.state,
             "cached": self.cached,
             "error": self.error,
+            "attempts": self.attempts,
+            "retryable": self.retryable,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -137,6 +167,10 @@ def _worker_main(conn, initializer: Optional[Callable[[], None]]) -> None:
                         # simulate a hard native crash (segfault, OOM kill):
                         # no exception, no cleanup, the pipe just dies
                         os._exit(3)
+                    if debug.get("fail"):
+                        raise RuntimeError(
+                            "injected flow error (debug.fail)"
+                        )
                 ctx = build_pipeline(config).run(net)
                 conn.send(("ok", job_id, flow_report(ctx, config=config)))
             except Exception:
@@ -195,14 +229,18 @@ class WorkerPool:
         initializer: Optional[Callable[[], None]] = warm_worker,
         on_job_done: Optional[Callable[[Job], None]] = None,
         mp_context: Optional[str] = None,
+        job_max_attempts: int = 3,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
+        if job_max_attempts < 1:
+            raise ValueError("job_max_attempts must be >= 1")
         self.workers = workers
         self.queue_size = queue_size
         self.job_timeout_s = job_timeout_s
+        self.job_max_attempts = job_max_attempts
         self.initializer = initializer
         self.on_job_done = on_job_done
         self._ctx = mp.get_context(mp_context)
@@ -222,6 +260,8 @@ class WorkerPool:
             "timeouts": 0,
             "crashes": 0,
             "respawns": 0,
+            "retries": 0,
+            "quarantined": 0,
         }
 
     # -- lifecycle -----------------------------------------------------------
@@ -255,12 +295,14 @@ class WorkerPool:
 
         Returns ``False`` if *timeout* elapsed with work still pending.
         """
-        deadline = None if timeout is None else time.time() + timeout
+        # monotonic deadline: a wall-clock jump must not extend or cut
+        # short the drain window
+        deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             with self._lock:
                 if self._pending == 0:
                     return True
-            if deadline is not None and time.time() >= deadline:
+            if deadline is not None and time.monotonic() >= deadline:
                 return False
             time.sleep(0.02)
 
@@ -305,16 +347,30 @@ class WorkerPool:
             item = self._queue.get()
             if item is _SENTINEL:
                 return
+            requeue = False
             try:
-                self._run_on_worker(slot, item)
-            finally:
-                with self._lock:
-                    self._pending -= 1
-                if self.on_job_done is not None:
+                requeue = self._run_on_worker(slot, item)
+                if requeue:
                     try:
-                        self.on_job_done(item)
-                    except Exception:  # pragma: no cover - observer bug
-                        traceback.print_exc()
+                        # bypasses submit(): an accepted job may retry
+                        # even while the pool is draining
+                        self._queue.put_nowait(item)
+                    except _stdlib_queue.Full:
+                        requeue = False
+                        self._quarantine(
+                            item,
+                            f"{item.error or 'worker crashed'}; retry "
+                            "requeue rejected (queue full)",
+                        )
+            finally:
+                if not requeue:
+                    with self._lock:
+                        self._pending -= 1
+                    if self.on_job_done is not None:
+                        try:
+                            self.on_job_done(item)
+                        except Exception:  # pragma: no cover - observer bug
+                            traceback.print_exc()
 
     def _ensure_worker(self, slot: int) -> _Worker:
         worker = self._slots[slot]
@@ -336,16 +392,42 @@ class WorkerPool:
             self._stats["respawns"] += 1
         return exitcode
 
-    def _run_on_worker(self, slot: int, job: Job) -> None:
+    def _injected_debug(self, job: Job) -> Optional[Dict[str, Any]]:
+        """Apply worker-directed fault points to this job attempt.
+
+        Evaluated here, in the dispatcher thread, so the plan's hit
+        counters live in one process and nth-hit schedules survive
+        worker respawns.  The directives ride the existing debug hooks.
+        """
+        debug = job.debug
+        if faults.should_fire("worker.crash"):
+            debug = dict(debug or {})
+            debug["crash"] = True
+        if faults.should_fire("worker.hang"):
+            debug = dict(debug or {})
+            timeout = job.timeout_s if job.timeout_s else self.job_timeout_s
+            debug["sleep_s"] = timeout * 4 + 1.0
+        if faults.should_fire("worker.flow_error"):
+            debug = dict(debug or {})
+            debug["fail"] = True
+        return debug
+
+    def _run_on_worker(self, slot: int, job: Job) -> bool:
+        """Run one attempt of *job*; ``True`` asks for a retry requeue."""
+        job.attempts += 1
         job.state = RUNNING
         job.started_at = time.time()
         with self._lock:
             self._busy += 1
         try:
-            payload = (job.id, job.net, job.config, job.debug)
+            payload = (job.id, job.net, job.config, self._injected_debug(job))
             worker = self._slots[slot]
             if worker is None or not worker.alive():
                 worker = self._ensure_worker(slot)
+            if faults.should_fire("dispatch.pipe"):
+                # the worker dies just before dispatch: the send below
+                # hits a broken pipe and the respawn-and-resend path runs
+                worker.kill()
             try:
                 worker.conn.send(payload)
             except (BrokenPipeError, OSError):
@@ -355,41 +437,71 @@ class WorkerPool:
                 try:
                     worker.conn.send(payload)
                 except (BrokenPipeError, OSError):
-                    self._fail(job, "worker unavailable (pipe broken twice)")
-                    return
+                    return self._crash_disposition(
+                        job, "worker unavailable (pipe broken twice)"
+                    )
             timeout = job.timeout_s if job.timeout_s else self.job_timeout_s
             if not worker.conn.poll(timeout):
                 self._replace_worker(slot)
                 with self._lock:
                     self._stats["timeouts"] += 1
+                # an overrun is deterministic work, not infrastructure
+                # flakiness: retrying it would overrun again
                 self._fail(job, f"job timed out after {timeout:g}s")
-                return
+                return False
             try:
                 status, job_id, payload = worker.conn.recv()
             except (EOFError, OSError):
                 exitcode = self._replace_worker(slot)
                 with self._lock:
                     self._stats["crashes"] += 1
-                self._fail(job, f"worker crashed (exit code {exitcode})")
-                return
+                return self._crash_disposition(
+                    job, f"worker crashed (exit code {exitcode})"
+                )
             if job_id != job.id:  # pragma: no cover - protocol invariant
                 self._replace_worker(slot)
                 self._fail(job, "worker returned a mismatched job id")
-                return
+                return False
             if status == "ok":
                 with self._lock:
                     self._stats["completed"] += 1
                 job.finish_ok(payload)
             else:
                 self._fail(job, f"flow failed:\n{payload}")
+            return False
         finally:
             with self._lock:
                 self._busy -= 1
 
-    def _fail(self, job: Job, error: str) -> None:
+    def _crash_disposition(self, job: Job, error: str) -> bool:
+        """Retry, fail-retryable or quarantine a crashed job attempt."""
+        job.error = error
+        if job.attempts < self.job_max_attempts:
+            with self._lock:
+                self._stats["retries"] += 1
+            job.state = QUEUED
+            return True
+        if self.job_max_attempts == 1:
+            # server-side retries disabled: surface the crash as a
+            # retryable failure so the client may resubmit
+            self._fail(job, error, retryable=True)
+            return False
+        self._quarantine(
+            job,
+            f"{error}; job crashed its worker on all "
+            f"{job.attempts} attempts",
+        )
+        return False
+
+    def _quarantine(self, job: Job, error: str) -> None:
+        with self._lock:
+            self._stats["quarantined"] += 1
+        job.finish_quarantined(error)
+
+    def _fail(self, job: Job, error: str, retryable: bool = False) -> None:
         with self._lock:
             self._stats["failed"] += 1
-        job.finish_failed(error)
+        job.finish_failed(error, retryable=retryable)
 
     # -- introspection -------------------------------------------------------
 

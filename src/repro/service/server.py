@@ -32,6 +32,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
+from repro import faults
 from repro.errors import ServiceError
 from repro.io.json_report import dumps_json_report, strict_loads
 from repro.pipeline.batch import warm_worker
@@ -39,12 +40,14 @@ from repro.service.cache import ResultCache
 from repro.service.protocol import (
     DONE,
     FAILED,
+    QUARANTINED,
+    TERMINAL_STATES,
     build_pipeline,
     cache_key,
     load_circuit,
     normalize_config,
 )
-from repro.service.queue import DrainingError, Job, WorkerPool
+from repro.service.queue import DrainingError, Job, QueueFullError, WorkerPool
 
 #: finished-job records kept for status/result queries (oldest pruned)
 MAX_JOB_RECORDS = 4096
@@ -62,6 +65,8 @@ class FlowService:
         initializer=warm_worker,
         mp_context: Optional[str] = None,
         max_job_records: int = MAX_JOB_RECORDS,
+        job_max_attempts: int = 3,
+        fault_plan: Optional[str] = None,
     ):
         self.cache = ResultCache(cache_entries)
         self.pool = WorkerPool(
@@ -71,7 +76,9 @@ class FlowService:
             initializer=initializer,
             on_job_done=self._job_finished,
             mp_context=mp_context,
+            job_max_attempts=job_max_attempts,
         )
+        self.fault_plan = fault_plan
         self.max_job_records = max_job_records
         self._jobs: Dict[str, Job] = {}
         self._jobs_order: list = []
@@ -81,11 +88,14 @@ class FlowService:
         self._submitted = 0
         self._rejected = 0
         self._cache_served = 0
+        self._cache_errors = 0
         self._stage_latency: Dict[str, Tuple[int, float]] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
+        if self.fault_plan:
+            faults.install(self.fault_plan)
         self.pool.start()
 
     def begin_drain(self) -> None:
@@ -118,6 +128,12 @@ class FlowService:
         """
         if self._draining:
             raise DrainingError("service is draining; not accepting jobs")
+        if faults.should_fire("server.reject"):
+            with self._lock:
+                self._rejected += 1
+            raise QueueFullError(
+                "injected backpressure (fault: server.reject); retry later"
+            )
         if not isinstance(payload, dict):
             raise ServiceError("job payload must be a JSON object")
         if "circuit" not in payload:
@@ -139,7 +155,14 @@ class FlowService:
         if not debug:
             # debug jobs (sleep/crash hooks) are never content-addressed
             job.cache_key = cache_key(net, config)
-            hit = self.cache.get(job.cache_key)
+            try:
+                hit = self.cache.get(job.cache_key)
+            except Exception:
+                # a broken cache degrades to a miss — it must never
+                # reject or fail the job itself
+                hit = None
+                with self._lock:
+                    self._cache_errors += 1
             if hit is not None:
                 hit["cached"] = True
                 job.cached = True
@@ -181,7 +204,7 @@ class FlowService:
             while len(self._jobs_order) > self.max_job_records:
                 for i, jid in enumerate(self._jobs_order):
                     old = self._jobs.get(jid)
-                    if old is not None and old.state in (DONE, FAILED):
+                    if old is not None and old.state in TERMINAL_STATES:
                         del self._jobs[jid]
                         del self._jobs_order[i]
                         break
@@ -191,7 +214,12 @@ class FlowService:
     def _job_finished(self, job: Job) -> None:
         """Pool callback: populate the cache and the latency aggregates."""
         if job.state == DONE and job.cache_key and job.report is not None:
-            self.cache.put(job.cache_key, job.report)
+            try:
+                self.cache.put(job.cache_key, job.report)
+            except Exception:
+                # a failed store loses the cache entry, not the result
+                with self._lock:
+                    self._cache_errors += 1
         if job.report is not None:
             timings = job.report.get("timings") or {}
             with self._lock:
@@ -221,6 +249,10 @@ class FlowService:
             raise ServiceError(
                 f"job {job_id} failed: {job.error}", status=500
             )
+        if job.state == QUARANTINED:
+            raise ServiceError(
+                f"job {job_id} quarantined: {job.error}", status=500
+            )
         raise ServiceError(
             f"job {job_id} is {job.state}; result not ready", status=409
         )
@@ -247,6 +279,13 @@ class FlowService:
             submitted = self._submitted
             rejected = self._rejected
             cache_served = self._cache_served
+            cache_errors = self._cache_errors
+            quarantined_jobs = [
+                {"job_id": job.id, "attempts": job.attempts,
+                 "error": job.error}
+                for job in self._jobs.values()
+                if job.state == QUARANTINED
+            ]
             stage_latency = {
                 stage: {
                     "count": count,
@@ -276,11 +315,15 @@ class FlowService:
                 "failed": pool["failed"],
                 "timeouts": pool["timeouts"],
                 "crashes": pool["crashes"],
+                "retries": pool["retries"],
+                "quarantined": pool["quarantined"],
                 "rejected": rejected,
                 "served_from_cache": cache_served,
             },
-            "cache": self.cache.stats(),
+            "quarantine": quarantined_jobs,
+            "cache": {**self.cache.stats(), "errors": cache_errors},
             "stage_latency_s": stage_latency,
+            "faults": faults.fire_counts(),
         }
 
 

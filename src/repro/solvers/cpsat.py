@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import InfeasibleError, SolverError, SolverLimitError
@@ -219,6 +220,7 @@ class CpModel:
         hi: List[int],
         watch: List[List[object]],
         node_budget: List[int],
+        deadline: Optional[float] = None,
     ) -> Optional[List[int]]:
         if not self._propagate(lo, hi, watch):
             return None
@@ -236,10 +238,12 @@ class CpModel:
             node_budget[0] -= 1
             if node_budget[0] < 0:
                 raise SolverLimitError("CP search node limit exceeded")
+            if deadline is not None and time.monotonic() >= deadline:
+                raise SolverLimitError("CP search time budget exhausted")
             lo2 = list(lo)
             hi2 = list(hi)
             lo2[best_v] = hi2[best_v] = val
-            res = self._search(lo2, hi2, watch, node_budget)
+            res = self._search(lo2, hi2, watch, node_budget, deadline)
             if res is not None:
                 return res
         return None
@@ -251,25 +255,54 @@ class CpModel:
                 watch[v].append(con)
         return watch
 
-    def solve(self, node_limit: int = 200_000) -> Dict[int, int]:
-        """Find any feasible assignment {var_index: value}."""
+    def solve(
+        self, node_limit: int = 200_000, deadline: Optional[float] = None
+    ) -> Dict[int, int]:
+        """Find any feasible assignment {var_index: value}.
+
+        *deadline* is an absolute ``time.monotonic()`` instant; past it
+        the search raises :class:`SolverLimitError`, like the node limit.
+        """
         lo = [v.lb for v in self.vars]
         hi = [v.ub for v in self.vars]
-        res = self._search(lo, hi, self._watch_lists(), [node_limit])
+        res = self._search(
+            lo, hi, self._watch_lists(), [node_limit], deadline
+        )
         if res is None:
             raise InfeasibleError("CP model infeasible")
         return {i: res[i] for i in range(len(self.vars))}
 
     def minimize(
-        self, coeffs: Dict, node_limit: int = 200_000
+        self,
+        coeffs: Dict,
+        node_limit: int = 200_000,
+        deadline: Optional[float] = None,
     ) -> Tuple[Dict[int, int], int]:
         """Minimise a linear objective; returns (assignment, objective)."""
+        best, best_obj, _ = self.minimize_ex(
+            coeffs, node_limit=node_limit, deadline=deadline
+        )
+        return best, best_obj
+
+    def minimize_ex(
+        self,
+        coeffs: Dict,
+        node_limit: int = 200_000,
+        deadline: Optional[float] = None,
+    ) -> Tuple[Dict[int, int], int, bool]:
+        """Like :meth:`minimize`, plus an optimality-proven flag.
+
+        Bound tightening that runs out of nodes or wall-clock *after*
+        finding an incumbent returns the incumbent with ``proven=False``
+        instead of raising — the degradation chain's "best effort under
+        budget" contract.
+        """
         terms = self._terms(coeffs)
 
         def value(assign: Dict[int, int]) -> int:
             return sum(c * assign[v] for v, c in terms)
 
-        best = self.solve(node_limit=node_limit)
+        best = self.solve(node_limit=node_limit, deadline=deadline)
         best_obj = value(best)
         while True:
             trial = CpModel()
@@ -279,9 +312,11 @@ class CpModel:
                 _Linear(terms, "<=", best_obj - 1)
             )
             try:
-                cand = trial.solve(node_limit=node_limit)
+                cand = trial.solve(node_limit=node_limit, deadline=deadline)
             except InfeasibleError:
-                return best, best_obj
+                return best, best_obj, True
+            except SolverLimitError:
+                return best, best_obj, False
             best = cand
             best_obj = value(cand)
 
@@ -294,7 +329,7 @@ class CpModel:
 IR_FEATURES = frozenset({"all_different", "not_equal"})
 
 
-def solve_model(model, node_limit: int = 200_000):
+def solve_model(model, node_limit: int = 200_000, deadline: Optional[float] = None):
     """Lower a :class:`repro.solvers.model.SolverModel` and solve it.
 
     Requires every variable to be an integer with finite bounds;
@@ -327,15 +362,17 @@ def solve_model(model, node_limit: int = 200_000):
         else:  # pragma: no cover - defensive
             raise SolverError(f"CP backend cannot lower {kind!r} constraints")
     if not model.objective:
-        assignment = cm.solve(node_limit=node_limit)
+        assignment = cm.solve(node_limit=node_limit, deadline=deadline)
         return {i: float(v) for i, v in assignment.items()}, 0.0, True
     if any(not float(c).is_integer() for c in model.objective.values()):
         raise SolverError("CP backend needs integer objective coefficients")
     sign = -1 if model.maximizing else 1
     coeffs = {i: sign * int(c) for i, c in model.objective.items()}
-    assignment, total = cm.minimize(coeffs, node_limit=node_limit)
+    assignment, total, proven = cm.minimize_ex(
+        coeffs, node_limit=node_limit, deadline=deadline
+    )
     return (
         {i: float(v) for i, v in assignment.items()},
         float(sign * total),
-        True,
+        proven,
     )

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -108,18 +109,34 @@ class MilpModel:
         res = solve_bounded_lp(c, bounds, self.constraints)
         return res.x, res.objective
 
-    def solve(self, node_limit: int = 20_000) -> MilpSolution:
-        """Branch and bound; raises on infeasibility, limit or unboundedness."""
+    def solve(
+        self, node_limit: int = 20_000, deadline: Optional[float] = None
+    ) -> MilpSolution:
+        """Branch and bound; raises on infeasibility, limit or unboundedness.
+
+        *deadline* is an absolute ``time.monotonic()`` instant: past it
+        the search stops with the incumbent (``optimal=False``), exactly
+        like the node limit, or raises :class:`SolverLimitError` when no
+        feasible solution was found yet.
+        """
         best_x: Optional[np.ndarray] = None
         best_obj = math.inf
         nodes = 0
+        limited = False
         stack: List[Dict[int, Tuple[float, float]]] = [{}]
         while stack:
             bounds = stack.pop()
             nodes += 1
-            if nodes > node_limit:
+            if nodes > node_limit or (
+                deadline is not None and time.monotonic() >= deadline
+            ):
                 if best_x is None:
-                    raise SolverLimitError("MILP node limit with no incumbent")
+                    raise SolverLimitError(
+                        "MILP node limit with no incumbent"
+                        if nodes > node_limit
+                        else "MILP time budget exhausted with no incumbent"
+                    )
+                limited = True
                 break
             try:
                 x, obj = self._solve_relaxation(bounds)
@@ -174,7 +191,7 @@ class MilpModel:
             values={i: float(best_x[i]) for i in range(len(self.vars))},
             objective=-best_obj if maximizing else best_obj,
             nodes_explored=nodes,
-            optimal=nodes <= node_limit,
+            optimal=not limited,
         )
 
 
@@ -186,7 +203,7 @@ class MilpModel:
 IR_FEATURES = frozenset({"continuous", "unbounded"})
 
 
-def solve_model(model, node_limit: int = 20_000):
+def solve_model(model, node_limit: int = 20_000, deadline: Optional[float] = None):
     """Lower a :class:`repro.solvers.model.SolverModel` and solve it.
 
     Variables and constraints are lowered in declaration order, so a
@@ -209,5 +226,5 @@ def solve_model(model, node_limit: int = 20_000):
         mm.maximize(dict(model.objective))
     else:
         mm.minimize(dict(model.objective))
-    sol = mm.solve(node_limit=node_limit)
+    sol = mm.solve(node_limit=node_limit, deadline=deadline)
     return sol.values, sol.objective, sol.optimal

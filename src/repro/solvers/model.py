@@ -162,20 +162,31 @@ class SolverModel:
         self,
         backend: str = "auto",
         node_limit: Optional[int] = None,
+        time_budget_s: Optional[float] = None,
     ) -> ModelSolution:
-        """Solve on *backend* ("auto" | "milp" | "cp")."""
+        """Solve on *backend* ("auto" | "milp" | "cp").
+
+        *time_budget_s* caps the wall-clock spent inside the backend
+        search: past it, a run holding an incumbent returns it with
+        ``optimal=False`` and a run with no incumbent raises
+        :class:`~repro.errors.SolverLimitError` — the hook the solver
+        degradation chain uses to fall back to the heuristic.
+        """
+        import time
+
         from repro.solvers import cpsat, milp
 
         if backend == "auto":
             backend = self.pick_backend()
+        kwargs = {}
+        if node_limit is not None:
+            kwargs["node_limit"] = node_limit
+        if time_budget_s is not None:
+            kwargs["deadline"] = time.monotonic() + time_budget_s
         if backend == "milp":
-            values, objective, optimal = milp.solve_model(
-                self, **({} if node_limit is None else {"node_limit": node_limit})
-            )
+            values, objective, optimal = milp.solve_model(self, **kwargs)
         elif backend == "cp":
-            values, objective, optimal = cpsat.solve_model(
-                self, **({} if node_limit is None else {"node_limit": node_limit})
-            )
+            values, objective, optimal = cpsat.solve_model(self, **kwargs)
         else:
             raise SolverError(f"unknown backend {backend!r}")
         return ModelSolution(values, objective, backend, optimal)

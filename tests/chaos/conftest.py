@@ -1,0 +1,49 @@
+"""Chaos-suite fixtures: hard wall-clock timeouts, no leaked fault plans.
+
+Chaos tests drive the service and batch layers under randomized (but
+seeded) fault schedules; the failure mode of a resilience bug is a hang
+or a lost job.  The SIGALRM fixture guarantees a hang dies loudly with
+a traceback (no pytest-timeout plugin in the image); the fault-plan
+fixture guarantees one test's schedule never bleeds into the next.
+Tune the limit with ``REPRO_TEST_TIMEOUT_S`` (seconds, default 180) and
+the seed list with ``REPRO_CHAOS_SEEDS`` (comma-separated, default
+``7,19`` — CI runs one seed per matrix job).
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro import faults
+
+TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT_S", "180"))
+
+
+@pytest.fixture(autouse=True)
+def hard_timeout():
+    """Kill any test that wedges past the hard wall-clock limit."""
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {TIMEOUT_S:g}s hard timeout "
+            "(REPRO_TEST_TIMEOUT_S)"
+        )
+
+    old = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_fault_plan():
+    """A fault plan installed by one test must never outlive it."""
+    yield
+    faults.clear()

@@ -1,0 +1,46 @@
+"""Shared service-test fixtures: hard timeouts, no leaked fault plans.
+
+Service tests exercise worker pools, injected crashes and hangs; a
+regression there fails as a *hang*.  With no pytest-timeout plugin in
+the image, an autouse SIGALRM fixture turns any hang into a loud
+``TimeoutError`` with a traceback instead of a stuck CI job.  Tune with
+``REPRO_TEST_TIMEOUT_S`` (seconds, default 120).
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro import faults
+
+TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT_S", "120"))
+
+
+@pytest.fixture(autouse=True)
+def hard_timeout():
+    """Kill any test that wedges past the hard wall-clock limit."""
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {TIMEOUT_S:g}s hard timeout "
+            "(REPRO_TEST_TIMEOUT_S)"
+        )
+
+    old = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_fault_plan():
+    """A fault plan installed by one test must never outlive it."""
+    yield
+    faults.clear()

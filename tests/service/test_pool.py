@@ -8,6 +8,7 @@ from repro.circuits import build, ripple_carry_adder
 from repro.service.protocol import (
     DONE,
     FAILED,
+    QUARANTINED,
     build_pipeline,
     flow_report,
     normalize_config,
@@ -77,21 +78,45 @@ class TestExecution:
 
 
 class TestCrashRecovery:
-    def test_crash_fails_only_that_job_and_respawns(self, pool):
+    def test_crash_quarantines_after_retries_and_respawns(self, pool):
+        # a debug-crash job crashes its worker on every attempt: after
+        # job_max_attempts (default 3) tries it is quarantined, each
+        # crash respawns the worker, and other jobs are unaffected
         crash = make_job(debug={"crash": True})
         follow = make_job()
         pool.submit(crash)
         pool.submit(follow)
         assert crash.done.wait(60)
         assert follow.done.wait(60)
-        assert crash.state == FAILED
+        assert crash.state == QUARANTINED
         assert "worker crashed" in crash.error
         assert "exit code 3" in crash.error
+        assert "all 3 attempts" in crash.error
+        assert crash.attempts == 3
         assert follow.state == DONE
         stats = pool.stats()
-        assert stats["crashes"] == 1
-        assert stats["respawns"] == 1
+        assert stats["crashes"] == 3
+        assert stats["respawns"] == 3
+        assert stats["retries"] == 2
+        assert stats["quarantined"] == 1
         assert stats["workers_alive"] == 1
+
+    def test_single_attempt_pool_fails_retryable(self):
+        # job_max_attempts=1: no server-side retry; the failure is
+        # marked retryable so a client may resubmit
+        pool = WorkerPool(
+            workers=1, queue_size=4, job_timeout_s=60.0, job_max_attempts=1
+        )
+        pool.start()
+        try:
+            crash = make_job(debug={"crash": True})
+            pool.submit(crash)
+            assert crash.done.wait(60)
+            assert crash.state == FAILED
+            assert crash.retryable is True
+            assert pool.stats()["retries"] == 0
+        finally:
+            pool.shutdown()
 
 
 class TestTimeouts:

@@ -118,9 +118,12 @@ class TestFlowServiceCore:
         with pytest.raises(ServiceError) as exc_info:
             service.job_result(status["job_id"])
         assert exc_info.value.status == 500
+        assert "quarantined" in str(exc_info.value)
         assert "worker crashed" in str(exc_info.value)
 
     def test_crash_respawns_and_spares_other_jobs(self, service):
+        # a persistently-crashing job burns its 3 attempts, lands in
+        # quarantine and shows up in /metrics; other jobs are unaffected
         crash = service.submit(
             {"circuit": registry_circuit("adder", "ci"),
              "config": FAST_CONFIG,
@@ -130,12 +133,16 @@ class TestFlowServiceCore:
             {"circuit": registry_circuit("adder", "ci"),
              "config": FAST_CONFIG}
         )
-        assert service.wait(crash["job_id"], timeout=60).state == "failed"
+        assert service.wait(crash["job_id"], timeout=60).state == "quarantined"
         assert service.wait(follow["job_id"], timeout=60).state == "done"
         metrics = service.metrics()
-        assert metrics["jobs"]["crashes"] == 1
-        assert metrics["workers"]["respawns"] == 1
+        assert metrics["jobs"]["crashes"] == 3
+        assert metrics["jobs"]["retries"] == 2
+        assert metrics["jobs"]["quarantined"] == 1
+        assert metrics["workers"]["respawns"] == 3
         assert metrics["workers"]["alive"] == 1
+        assert [q["job_id"] for q in metrics["quarantine"]] == [crash["job_id"]]
+        assert metrics["quarantine"][0]["attempts"] == 3
 
     def test_debug_jobs_bypass_cache(self, service):
         payload = {
@@ -270,7 +277,9 @@ class TestBackpressureHttp:
         )
         daemon.start()
         try:
-            client = ServiceClient(daemon.url)
+            # retries=0: observe the raw 429 instead of the client's
+            # backoff-and-retry masking it (that path has its own tests)
+            client = ServiceClient(daemon.url, retries=0)
             client.wait_ready(30.0)
             saw_429 = False
             accepted = []

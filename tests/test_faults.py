@@ -1,0 +1,154 @@
+"""repro.faults: plan grammar, trigger determinism, activation paths."""
+
+import pytest
+
+from repro import faults
+from repro.errors import FaultInjected, FaultPlanError
+from repro.faults import FaultPlan, FaultRule, parse_plan
+
+
+@pytest.fixture(autouse=True)
+def clean_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestParsing:
+    def test_full_grammar(self):
+        plan = parse_plan("seed=7;worker.crash@nth=2;client.request@p=0.25,times=3")
+        assert plan.seed == 7
+        assert plan.rules[0] == FaultRule(point="worker.crash", nth=2)
+        assert plan.rules[1] == FaultRule(
+            point="client.request", p=0.25, times=3
+        )
+
+    def test_empty_segments_ignored(self):
+        plan = parse_plan(";;worker.crash@nth=1;;")
+        assert len(plan.rules) == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "worker.crash",           # no trigger spec
+            "worker.crash@",          # empty trigger spec
+            "@nth=1",                 # empty point
+            "worker.crash@nth=x",     # non-integer
+            "worker.crash@nth=-1",    # negative
+            "worker.crash@p=1.5",     # probability out of range
+            "worker.crash@p=x",       # probability not a number
+            "worker.crash@frob=1",    # unknown trigger
+            "seed=x",                 # bad plan seed
+            "justtext",               # not point@... nor seed=
+        ],
+    )
+    def test_bad_plans_raise(self, bad):
+        with pytest.raises(FaultPlanError):
+            parse_plan(bad)
+
+
+class TestTriggers:
+    def test_nth_fires_exactly_once(self):
+        plan = parse_plan("x@nth=3")
+        assert [plan.should_fire("x") for _ in range(5)] == [
+            False, False, True, False, False,
+        ]
+
+    def test_after_fires_every_later_hit(self):
+        plan = parse_plan("x@after=2")
+        assert [plan.should_fire("x") for _ in range(5)] == [
+            False, False, True, True, True,
+        ]
+
+    def test_every_fires_periodically(self):
+        plan = parse_plan("x@every=2")
+        assert [plan.should_fire("x") for _ in range(6)] == [
+            False, True, False, True, False, True,
+        ]
+
+    def test_times_caps_fires(self):
+        plan = parse_plan("x@after=0,times=2")
+        assert [plan.should_fire("x") for _ in range(5)] == [
+            True, True, False, False, False,
+        ]
+
+    def test_p_is_deterministic_per_seed(self):
+        plan_a = parse_plan("seed=5;x@p=0.5")
+        plan_b = parse_plan("seed=5;x@p=0.5")
+        seq_a = [plan_a.should_fire("x") for _ in range(64)]
+        seq_b = [plan_b.should_fire("x") for _ in range(64)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)  # a real Bernoulli stream
+        plan_c = parse_plan("seed=6;x@p=0.5")
+        seq_c = [plan_c.should_fire("x") for _ in range(64)]
+        assert seq_a != seq_c
+
+    def test_p_stream_isolated_per_point(self):
+        # interleaving hits of another point must not shift x's stream
+        plan_solo = parse_plan("seed=9;x@p=0.5")
+        solo = [plan_solo.should_fire("x") for _ in range(32)]
+        plan_mixed = parse_plan("seed=9;x@p=0.5;y@p=0.5")
+        mixed = []
+        for _ in range(32):
+            plan_mixed.should_fire("y")
+            mixed.append(plan_mixed.should_fire("x"))
+        assert solo == mixed
+
+    def test_wildcard_prefix(self):
+        plan = parse_plan("worker.*@after=0")
+        assert plan.should_fire("worker.crash")
+        assert plan.should_fire("worker.hang")
+        assert plan.should_fire("worker")
+        assert not plan.should_fire("cache.get")
+
+    def test_and_within_segment(self):
+        plan = parse_plan("x@every=2,times=1")
+        assert [plan.should_fire("x") for _ in range(6)] == [
+            False, True, False, False, False, False,
+        ]
+
+    def test_counters(self):
+        plan = parse_plan("x@nth=1")
+        plan.should_fire("x")
+        plan.should_fire("x")
+        plan.should_fire("y")
+        assert plan.hit_counts() == {"x": 2, "y": 1}
+        assert plan.fire_counts() == {"x": 1}
+        assert plan.total_fires() == 1
+
+
+class TestModuleState:
+    def test_noop_without_plan(self):
+        assert faults.should_fire("anything") is False
+        faults.fire("anything")  # must not raise
+        assert faults.fire_counts() == {}
+
+    def test_install_and_fire(self):
+        faults.install("x@nth=1")
+        with pytest.raises(FaultInjected) as exc_info:
+            faults.fire("x", "boom")
+        assert exc_info.value.point == "x"
+        assert "boom" in str(exc_info.value)
+        faults.fire("x")  # nth=1 consumed
+
+    def test_injected_context_restores_previous(self):
+        outer = faults.install("x@nth=99")
+        with faults.injected("y@nth=1") as plan:
+            assert isinstance(plan, FaultPlan)
+            assert faults.active() is plan
+        assert faults.active() is outer
+
+    def test_env_activation(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "x@nth=1")
+        # force a fresh lazy env load
+        monkeypatch.setattr(faults, "_ACTIVE", None)
+        monkeypatch.setattr(faults, "_ENV_LOADED", False)
+        assert faults.should_fire("x") is True
+        assert faults.should_fire("x") is False
+
+    def test_clear_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "x@nth=1")
+        monkeypatch.setattr(faults, "_ACTIVE", None)
+        monkeypatch.setattr(faults, "_ENV_LOADED", False)
+        faults.clear()
+        assert faults.should_fire("x") is False
